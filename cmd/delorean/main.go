@@ -1,0 +1,146 @@
+// Command delorean runs one benchmark (or the whole suite) under the three
+// sampled-simulation methodologies — SMARTS (functional warming), CoolSim
+// (randomized statistical warming) and DeLorean (directed statistical
+// warming through time traveling) — and reports simulated speed, CPI and
+// warm-up statistics.
+//
+// Usage:
+//
+//	delorean [-bench name] [-regions n] [-llc mb] [-scale n] [-prefetch]
+//	         [-methods smarts,coolsim,delorean] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/sampling"
+	"repro/internal/textplot"
+	"repro/internal/warm"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "", "benchmark name (empty = whole suite)")
+		regions  = flag.Int("regions", 10, "number of detailed regions")
+		llcMB    = flag.Uint64("llc", 8, "LLC size in paper-scale MiB")
+		scale    = flag.Uint64("scale", 64, "geometric down-scaling factor")
+		prefetch = flag.Bool("prefetch", false, "enable the LLC stride prefetcher")
+		methods  = flag.String("methods", "smarts,coolsim,delorean", "comma-separated methods")
+		verbose  = flag.Bool("v", false, "print per-region detail and counters")
+	)
+	flag.Parse()
+
+	cfg := warm.DefaultConfig()
+	cfg.Regions = *regions
+	cfg.LLCPaperBytes = *llcMB << 20
+	cfg.Scale = *scale
+	cfg.Prefetch = *prefetch
+
+	var profs []*workload.Profile
+	if *bench == "" {
+		profs = workload.Benchmarks()
+	} else {
+		p := workload.ByName(*bench)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q; available:\n", *bench)
+			for _, b := range workload.Benchmarks() {
+				fmt.Fprintf(os.Stderr, "  %s\n", b.Name)
+			}
+			os.Exit(1)
+		}
+		profs = []*workload.Profile{p}
+	}
+
+	opt := sampling.Options{SkipSMARTS: true, SkipCoolSim: true, SkipDeLorean: true}
+	for _, m := range strings.Split(*methods, ",") {
+		switch strings.TrimSpace(m) {
+		case "smarts":
+			opt.SkipSMARTS = false
+		case "coolsim":
+			opt.SkipCoolSim = false
+		case "delorean":
+			opt.SkipDeLorean = false
+		case "":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown method %q\n", m)
+			os.Exit(1)
+		}
+	}
+
+	cmp := sampling.RunAll(profs, cfg, opt)
+
+	tbl := textplot.NewTable(
+		fmt.Sprintf("Sampled simulation, %d regions, LLC %d MiB (paper scale), scale 1/%d",
+			cfg.Regions, *llcMB, cfg.Scale),
+		"benchmark", "SMARTS MIPS", "CoolSim MIPS", "DeLorean MIPS",
+		"CPI ref", "CPI cool", "CPI dlr", "err cool", "err dlr", "expl")
+	for _, b := range cmp.Benches {
+		sp := sampling.BenchSpeeds(cfg, b)
+		row := []string{b.Bench,
+			fmtF(sp.SMARTS), fmtF(sp.CoolSim), fmtF(sp.DeLorean)}
+		var ref float64
+		if b.SMARTS != nil {
+			ref = b.SMARTS.CPI()
+			row = append(row, fmt.Sprintf("%.3f", ref))
+		} else {
+			row = append(row, "-")
+		}
+		row = append(row, cpiCell(b.CoolSim != nil, b.CoolSim), cpiCell(b.DeLorean != nil, ifR(b.DeLorean)))
+		row = append(row, errCell(ref, b.CoolSim != nil, b.CoolSim), errCell(ref, b.DeLorean != nil, ifR(b.DeLorean)))
+		if b.DeLorean != nil {
+			row = append(row, fmt.Sprintf("%.2f", b.DeLorean.AvgExplorers))
+		} else {
+			row = append(row, "-")
+		}
+		tbl.AddRow(row...)
+	}
+	fmt.Print(tbl.String())
+
+	s := sampling.Summarize(cmp)
+	fmt.Printf("\nsummary: speedup vs SMARTS %.1fx, vs CoolSim %.1fx; "+
+		"MIPS smarts/cool/dlr %.1f/%.1f/%.1f; reuse reduction %.0fx; "+
+		"CPI err cool %.1f%% dlr %.1f%%\n",
+		s.AvgSpeedupVsSMARTS, s.AvgSpeedupVsCoolSim,
+		s.SMARTSMIPS, s.CoolSimMIPS, s.DeLoreanMIPS,
+		s.ReuseReduction, s.AvgErrCoolSim*100, s.AvgErrDeLorean*100)
+
+	if *verbose {
+		for _, b := range cmp.Benches {
+			if b.DeLorean != nil {
+				fmt.Printf("\n%s DeLorean counters:\n%s", b.Bench, b.DeLorean.Counters)
+				rc := sampling.BenchReuseCounts(cfg, b)
+				fmt.Printf("reuse counts (paper scale): coolsim %.0f, delorean %.0f\n",
+					rc.CoolSim, rc.DeLorean)
+				fmt.Printf("lukewarm hit %.1f%%, +MSHR %.1f%%\n",
+					b.DeLorean.LukewarmHitRate()*100, b.DeLorean.HitOrDelayedRate()*100)
+			}
+		}
+	}
+}
+
+func fmtF(v float64) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func ifR(r interface{ CPI() float64 }) interface{ CPI() float64 } { return r }
+
+func cpiCell(ok bool, r interface{ CPI() float64 }) string {
+	if !ok || r == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", r.CPI())
+}
+
+func errCell(ref float64, ok bool, r interface{ CPI() float64 }) string {
+	if !ok || r == nil || ref == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", sampling.CPIError(ref, r.CPI())*100)
+}

@@ -1,0 +1,53 @@
+// Command dse runs a design-space exploration: one benchmark evaluated
+// across many LLC sizes from a single Scout/Explorer warm-up feeding
+// parallel Analysts (Fig. 14, §6.4.2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dse"
+	"repro/internal/figures"
+	"repro/internal/textplot"
+	"repro/internal/warm"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "cactusADM", "benchmark name")
+		regions = flag.Int("regions", 10, "number of detailed regions")
+		short   = flag.Bool("short", false, "fewer LLC sizes")
+	)
+	flag.Parse()
+
+	prof := workload.ByName(*bench)
+	if prof == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	cfg := warm.DefaultConfig()
+	cfg.Regions = *regions
+	sizes := figures.WSSizes(*short)
+
+	res := dse.Run(prof, cfg, sizes)
+	tbl := textplot.NewTable(
+		fmt.Sprintf("DSE: %s, %d LLC configurations from one warm-up", prof.Name, len(sizes)),
+		"LLC (paper MiB)", "CPI", "LLC MPKI")
+	var xs, ys []float64
+	for i, s := range sizes {
+		tbl.AddRowf("%d", s>>20, "%.3f", res.PerSize[i].CPI(), "%.2f", res.PerSize[i].LLCMPKI())
+		xs = append(xs, float64(s>>20))
+		ys = append(ys, res.PerSize[i].CPI())
+	}
+	fmt.Print(tbl.String())
+	plot := textplot.NewLinePlot("CPI vs LLC size", "MiB", "CPI", true)
+	plot.AddSeries(prof.Name, xs, ys)
+	fmt.Print(plot.String())
+	fmt.Printf("avg Explorers engaged: %.2f\n", res.AvgExplorers)
+	fmt.Printf("warming:detail cost ratio: %.0fx (paper ~235x)\n", res.WarmingToDetailRatio(cfg.Cost))
+	fmt.Printf("marginal cost of %d parallel Analysts: %.2fx of a single run (paper <1.05x for 10)\n",
+		len(sizes), res.MarginalCost(cfg.Cost))
+}

@@ -1,0 +1,65 @@
+// Command wscurve characterizes an application's working set (Fig. 13):
+// miss rate (MPKI) as a function of LLC size, predicted by DeLorean from a
+// single shared warm-up, optionally with a SMARTS reference per size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dse"
+	"repro/internal/figures"
+	"repro/internal/textplot"
+	"repro/internal/warm"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "lbm", "benchmark name")
+		regions = flag.Int("regions", 10, "number of detailed regions")
+		short   = flag.Bool("short", false, "fewer LLC sizes")
+		withRef = flag.Bool("ref", false, "also run the SMARTS reference per size (slow)")
+	)
+	flag.Parse()
+
+	prof := workload.ByName(*bench)
+	if prof == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	cfg := warm.DefaultConfig()
+	cfg.Regions = *regions
+	sizes := figures.WSSizes(*short)
+
+	res := dse.Run(prof, cfg, sizes)
+	headers := []string{"LLC (paper MiB)", "DeLorean MPKI", "DeLorean CPI"}
+	if *withRef {
+		headers = append(headers, "SMARTS MPKI", "SMARTS CPI")
+	}
+	tbl := textplot.NewTable(fmt.Sprintf("Working-set curve: %s", prof.Name), headers...)
+	var xs, ys []float64
+	for i, s := range sizes {
+		row := []string{
+			fmt.Sprintf("%d", s>>20),
+			fmt.Sprintf("%.2f", res.PerSize[i].LLCMPKI()),
+			fmt.Sprintf("%.3f", res.PerSize[i].CPI()),
+		}
+		if *withRef {
+			rcfg := cfg
+			rcfg.LLCPaperBytes = s
+			ref := warm.RunSMARTS(prof, rcfg)
+			row = append(row, fmt.Sprintf("%.2f", ref.LLCMPKI()), fmt.Sprintf("%.3f", ref.CPI()))
+		}
+		tbl.AddRow(row...)
+		xs = append(xs, float64(s>>20))
+		ys = append(ys, res.PerSize[i].LLCMPKI())
+	}
+	fmt.Print(tbl.String())
+	plot := textplot.NewLinePlot("MPKI vs LLC size (DeLorean, one shared warm-up)", "MiB", "MPKI", true)
+	plot.AddSeries(prof.Name, xs, ys)
+	fmt.Print(plot.String())
+	fmt.Printf("all %d points from one warm-up; marginal cost %.2fx, warming/detail %.0fx\n",
+		len(sizes), res.MarginalCost(cfg.Cost), res.WarmingToDetailRatio(cfg.Cost))
+}

@@ -1,0 +1,71 @@
+// Multi-programming extension (§4.2): a StatCC-style model predicts how
+// co-running applications interact in a shared LLC from reuse profiles
+// collected *separately* — the same microarchitecture-independent profiles
+// DeLorean's Explorers produce.
+//
+//	go run ./examples/multiprog
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/multiprog"
+	"repro/internal/reuse"
+	"repro/internal/vm"
+	"repro/internal/warm"
+	"repro/internal/workload"
+)
+
+// soloProfile collects a benchmark's solo reuse-distance distribution with
+// a sparse forward sampler (the CoolSim/vicinity mechanism).
+func soloProfile(name string, span uint64) (*multiprog.App, float64) {
+	prof := workload.ByName(name)
+	cfg := warm.DefaultConfig()
+	prog := prof.NewProgram(cfg.Scale)
+	eng := vm.NewEngine(prog)
+	sampler := reuse.NewForwardSampler(1, false)
+	wps := vm.NewWatchpoints()
+	eng.RunVDP(span, &vm.VDPConfig{
+		WPs:         wps,
+		SampleEvery: 2000,
+		OnSample: func(a *mem.Access) {
+			if sampler.Start(a) {
+				wps.Watch(a.Line())
+			}
+		},
+		OnTrigger: func(a *mem.Access) {
+			if sampler.Complete(a) {
+				wps.Unwatch(a.Line())
+			}
+		},
+	})
+	sampler.AbandonPending(true)
+	apki := float64(prog.MemIndex()) / float64(prog.InstrIndex())
+	return &multiprog.App{
+		Name:             name,
+		Hist:             sampler.Hist,
+		AccessesPerInstr: apki,
+		BaseCPI:          0.6,
+		MissPenalty:      200,
+	}, apki
+}
+
+func main() {
+	const span = 4_000_000
+	a, _ := soloProfile("omnetpp", span)
+	b, _ := soloProfile("hmmer", span)
+	llcLines := uint64((8 << 20) / 64 / 64) // 8 MiB paper LLC at scale 64
+
+	solo := multiprog.Solve([]multiprog.App{*a}, llcLines, 50)
+	pair := multiprog.Solve([]multiprog.App{*a, *b}, llcLines, 50)
+
+	fmt.Println("StatCC-style shared-LLC contention (from separately collected profiles):")
+	fmt.Printf("  %-8s solo:   CPI %.3f, LLC miss ratio %.3f\n", a.Name, solo[0].CPI, solo[0].MissRatio)
+	for _, r := range pair {
+		fmt.Printf("  %-8s shared: CPI %.3f, LLC miss ratio %.3f, reuse dilation %.2fx\n",
+			r.Name, r.CPI, r.MissRatio, r.Dilation)
+	}
+	fmt.Println("\nsharing the LLC dilates each app's reuse distances by the")
+	fmt.Println("co-runner's access rate, converging in a few iterations (§4.2).")
+}

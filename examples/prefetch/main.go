@@ -1,0 +1,35 @@
+// Hardware prefetching extension (§6.3.2): DeLorean feeds the LLC stride
+// prefetcher with *predicted* misses instead of simulated ones, and
+// prefetches to lines predicted present are nullified.
+//
+//	go run ./examples/prefetch
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sampling"
+	"repro/internal/warm"
+	"repro/internal/workload"
+)
+
+func main() {
+	prof := workload.ByName("libquantum") // dominant stride: prefetcher heaven
+	for _, pf := range []bool{false, true} {
+		cfg := warm.DefaultConfig()
+		cfg.Regions = 5
+		cfg.Prefetch = pf
+		ref := warm.RunSMARTS(prof, cfg)
+		dlr := core.Run(prof, cfg)
+		label := "without prefetching"
+		if pf {
+			label = "with LLC stride prefetching"
+		}
+		fmt.Printf("%s, %s:\n", prof.Name, label)
+		fmt.Printf("  SMARTS CPI %.3f, DeLorean CPI %.3f (error %.1f%%)\n\n",
+			ref.CPI(), dlr.CPI(), sampling.CPIError(ref.CPI(), dlr.CPI())*100)
+	}
+	fmt.Println("the paper reports DeLorean is slightly MORE accurate with prefetching:")
+	fmt.Println("fewer misses remain to be predicted statistically (§6.3.2).")
+}

@@ -1,0 +1,42 @@
+// Working-set characterization (the paper's Fig. 13 use case): predict an
+// application's MPKI across LLC sizes from one DeLorean warm-up.
+//
+//	go run ./examples/wscurves
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/dse"
+	"repro/internal/textplot"
+	"repro/internal/warm"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := warm.DefaultConfig()
+	cfg.Regions = 5
+	sizes := []uint64{1 << 20, 4 << 20, 8 << 20, 32 << 20, 128 << 20, 512 << 20}
+
+	// lbm's two streaming footprints (8 MiB and 512 MiB) produce the two
+	// knees the paper highlights.
+	for _, name := range []string{"lbm", "leslie3d"} {
+		prof := workload.ByName(name)
+		res := dse.Run(prof, cfg, sizes)
+		var xs, ys []float64
+		for i, s := range sizes {
+			xs = append(xs, float64(s>>20))
+			ys = append(ys, res.PerSize[i].LLCMPKI())
+		}
+		plot := textplot.NewLinePlot(
+			fmt.Sprintf("%s: MPKI vs LLC size (paper-equivalent MiB)", name),
+			"MiB", "MPKI", true)
+		plot.AddSeries(name, xs, ys)
+		fmt.Print(plot.String())
+		for i, s := range sizes {
+			fmt.Printf("  %4d MiB: %6.2f MPKI\n", s>>20, ys[i])
+			_ = i
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,87 @@
+// End-to-end integration tests: the qualitative claims of the paper's
+// evaluation must hold on a reduced configuration in a plain `go test`.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/dse"
+	"repro/internal/sampling"
+	"repro/internal/warm"
+	"repro/internal/workload"
+)
+
+// integrationCfg: 2 regions at the default 1/64 scale keeps this under a
+// few seconds per benchmark.
+func integrationCfg() warm.Config {
+	cfg := warm.DefaultConfig()
+	cfg.Regions = 2
+	return cfg
+}
+
+// TestEndToEndOrdering checks the paper's headline ordering on real suite
+// benchmarks: DeLorean faster than CoolSim faster than SMARTS, and
+// DeLorean's CPI closer to the SMARTS reference than CoolSim's on the
+// benchmarks the paper calls out (GemsFDTD).
+func TestEndToEndOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := integrationCfg()
+	profs := []*workload.Profile{workload.Bwaves(), workload.GemsFDTD()}
+	cmp := sampling.RunAll(profs, cfg, sampling.Options{})
+	for _, b := range cmp.Benches {
+		sp := sampling.BenchSpeeds(cfg, b)
+		if !(sp.DeLorean > sp.CoolSim && sp.CoolSim > sp.SMARTS) {
+			t.Errorf("%s: speed ordering violated: smarts=%.2f cool=%.2f dlr=%.2f",
+				b.Bench, sp.SMARTS, sp.CoolSim, sp.DeLorean)
+		}
+		rc := sampling.BenchReuseCounts(cfg, b)
+		if rc.DeLorean >= rc.CoolSim {
+			t.Errorf("%s: DSW (%0.f) must collect fewer reuses than RSW (%.0f)",
+				b.Bench, rc.DeLorean, rc.CoolSim)
+		}
+	}
+}
+
+// TestEndToEndBestWorstCase: bwaves must be DeLorean's best case and
+// povray its worst case relative to CoolSim, as in Fig. 5.
+func TestEndToEndBestWorstCase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := integrationCfg()
+	profs := []*workload.Profile{workload.Bwaves(), workload.Povray()}
+	cmp := sampling.RunAll(profs, cfg, sampling.Options{SkipSMARTS: true})
+	spB := sampling.BenchSpeeds(cfg, cmp.Benches[0])
+	spP := sampling.BenchSpeeds(cfg, cmp.Benches[1])
+	ratioB := spB.DeLorean / spB.CoolSim
+	ratioP := spP.DeLorean / spP.CoolSim
+	if ratioB <= ratioP {
+		t.Errorf("bwaves ratio %.1fx should exceed povray ratio %.1fx", ratioB, ratioP)
+	}
+	if ratioP > 3 {
+		t.Errorf("povray should be near CoolSim speed (paper 1.05x), got %.1fx", ratioP)
+	}
+}
+
+// TestEndToEndWorkingSetKnee: lbm's MPKI must fall substantially between a
+// 1 MiB-equivalent and a 512 MiB-equivalent LLC (the Fig. 13 knees).
+func TestEndToEndWorkingSetKnee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := integrationCfg()
+	res := dse.Run(workload.Lbm(), cfg, []uint64{1 << 20, 64 << 20, 512 << 20})
+	small := res.PerSize[0].LLCMPKI()
+	mid := res.PerSize[1].LLCMPKI()
+	big := res.PerSize[2].LLCMPKI()
+	// The first knee sits between the two footprints: by 64 MiB the 8 MiB
+	// stream (plus the co-resident lines of the larger streams) fits.
+	if !(small > mid && mid > big) {
+		t.Errorf("lbm MPKI not decreasing: %.1f, %.1f, %.1f", small, mid, big)
+	}
+	if big > small*0.7 {
+		t.Errorf("no pronounced knee: 512 MiB MPKI %.1f vs 1 MiB %.1f", big, small)
+	}
+}

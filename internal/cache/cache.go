@@ -1,0 +1,247 @@
+// Package cache implements the memory-hierarchy substrate: set-associative
+// caches with true-LRU (and random) replacement, miss status holding
+// registers (MSHRs), a three-level hierarchy matching the paper's Table 1,
+// and an LLC stride prefetcher for the Fig. 12 experiment.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// ReplPolicy selects the replacement policy of a cache.
+type ReplPolicy uint8
+
+// Replacement policies. The paper evaluates LRU; Random exists to exercise
+// the StatCache generality argument (§4.1).
+const (
+	LRU ReplPolicy = iota
+	Random
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name   string
+	SizeB  uint64 // total capacity in bytes
+	Assoc  int
+	MSHRs  int
+	Policy ReplPolicy
+	HitLat uint32 // cycles
+}
+
+// Lines returns the capacity in cachelines.
+func (c Config) Lines() uint64 { return c.SizeB / mem.LineSize }
+
+// Sets returns the number of sets.
+func (c Config) Sets() uint64 {
+	a := uint64(c.Assoc)
+	if a == 0 {
+		a = 1
+	}
+	s := c.Lines() / a
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+func (c Config) String() string {
+	return fmt.Sprintf("%s %dKiB %d-way", c.Name, c.SizeB/1024, c.Assoc)
+}
+
+// Outcome classifies a cache access.
+type Outcome uint8
+
+// Access outcomes.
+const (
+	Hit Outcome = iota
+	Miss
+	// MSHRHit means the line missed but an earlier miss to the same line is
+	// still outstanding; the request coalesces onto the existing MSHR
+	// ("delayed hit" in the paper's terminology).
+	MSHRHit
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case MSHRHit:
+		return "mshr-hit"
+	}
+	return "outcome?"
+}
+
+// Cache is one set-associative cache level. The zero value is unusable;
+// call New. Not safe for concurrent use.
+type Cache struct {
+	cfg   Config
+	sets  uint64
+	assoc int
+	tags  []uint64 // sets*assoc entries; tag = line number
+	valid []bool
+	age   []uint64 // LRU timestamps
+	tick  uint64
+	rngSt uint64 // for Random replacement
+
+	// Statistics.
+	NHits, NMisses, NMSHRHits uint64
+}
+
+// New builds a cache from cfg. Capacity, associativity and line size must
+// be consistent (sets >= 1); see Config.Sets.
+func New(cfg Config) *Cache {
+	sets := cfg.Sets()
+	assoc := cfg.Assoc
+	if assoc <= 0 {
+		assoc = 1
+	}
+	n := sets * uint64(assoc)
+	return &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		assoc: assoc,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		age:   make([]uint64, n),
+		rngSt: 0x2545f4914f6cdd1d,
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// setOf maps a line to its set index.
+func (c *Cache) setOf(l mem.Line) uint64 { return uint64(l) % c.sets }
+
+// Lookup accesses the cache, updating replacement state and statistics.
+// On a miss the line is installed (write-allocate) and the victim line is
+// returned with evicted=true if a valid line was displaced.
+func (c *Cache) Lookup(l mem.Line) (out Outcome, victim mem.Line, evicted bool) {
+	base := c.setOf(l) * uint64(c.assoc)
+	c.tick++
+	var emptyWay, lruWay int = -1, 0
+	var lruAge uint64 = ^uint64(0)
+	for w := 0; w < c.assoc; w++ {
+		i := base + uint64(w)
+		if c.valid[i] && c.tags[i] == uint64(l) {
+			c.age[i] = c.tick
+			c.NHits++
+			return Hit, 0, false
+		}
+		if !c.valid[i] {
+			if emptyWay < 0 {
+				emptyWay = w
+			}
+		} else if c.age[i] < lruAge {
+			lruAge = c.age[i]
+			lruWay = w
+		}
+	}
+	c.NMisses++
+	w := emptyWay
+	if w < 0 {
+		if c.cfg.Policy == Random {
+			c.rngSt ^= c.rngSt << 13
+			c.rngSt ^= c.rngSt >> 7
+			c.rngSt ^= c.rngSt << 17
+			w = int(c.rngSt % uint64(c.assoc))
+		} else {
+			w = lruWay
+		}
+		i := base + uint64(w)
+		victim, evicted = mem.Line(c.tags[i]), true
+	}
+	i := base + uint64(w)
+	c.tags[i] = uint64(l)
+	c.valid[i] = true
+	c.age[i] = c.tick
+	return Miss, victim, evicted
+}
+
+// Probe reports whether the line is present without touching replacement
+// state or statistics.
+func (c *Cache) Probe(l mem.Line) bool {
+	base := c.setOf(l) * uint64(c.assoc)
+	for w := 0; w < c.assoc; w++ {
+		i := base + uint64(w)
+		if c.valid[i] && c.tags[i] == uint64(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// SetFull reports whether the set that line l maps to has no invalid ways.
+// The Fig. 3 classifier uses this: a lukewarm miss into a full set is a
+// certain conflict miss.
+func (c *Cache) SetFull(l mem.Line) bool {
+	base := c.setOf(l) * uint64(c.assoc)
+	for w := 0; w < c.assoc; w++ {
+		if !c.valid[base+uint64(w)] {
+			return false
+		}
+	}
+	return true
+}
+
+// Install forces a line into the cache without counting statistics (used
+// when the statistical classifier decides a "warming miss" is really a hit
+// and the line must appear present from then on).
+func (c *Cache) Install(l mem.Line) {
+	base := c.setOf(l) * uint64(c.assoc)
+	c.tick++
+	var way int = -1
+	var lruAge uint64 = ^uint64(0)
+	for w := 0; w < c.assoc; w++ {
+		i := base + uint64(w)
+		if c.valid[i] && c.tags[i] == uint64(l) {
+			c.age[i] = c.tick
+			return
+		}
+		if !c.valid[i] {
+			way = w
+			break
+		}
+		if c.age[i] < lruAge {
+			lruAge = c.age[i]
+			way = w
+		}
+	}
+	i := base + uint64(way)
+	c.tags[i] = uint64(l)
+	c.valid[i] = true
+	c.age[i] = c.tick
+}
+
+// Occupancy returns the number of valid lines (for invariant tests).
+func (c *Cache) Occupancy() uint64 {
+	var n uint64
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset invalidates the entire cache and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.tick = 0
+	c.NHits, c.NMisses, c.NMSHRHits = 0, 0, 0
+}
+
+// MissRatio returns misses / (hits + misses + mshr hits).
+func (c *Cache) MissRatio() float64 {
+	tot := c.NHits + c.NMisses + c.NMSHRHits
+	if tot == 0 {
+		return 0
+	}
+	return float64(c.NMisses) / float64(tot)
+}

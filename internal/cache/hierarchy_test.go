@@ -1,0 +1,175 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func testHierarchyCfg() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:    Config{Name: "L1I", SizeB: 4 * 1024, Assoc: 2, MSHRs: 4, HitLat: 1},
+		L1D:    Config{Name: "L1D", SizeB: 4 * 1024, Assoc: 2, MSHRs: 8, HitLat: 3},
+		LLC:    Config{Name: "LLC", SizeB: 64 * 1024, Assoc: 8, MSHRs: 20, HitLat: 30},
+		MemLat: 200,
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy(testHierarchyCfg(), nil)
+	a := &mem.Access{Addr: 0x1000}
+	r := h.AccessData(a)
+	if r.Served != LevelMem || r.Latency != 3+30+200 {
+		t.Fatalf("cold access: served=%v lat=%d, want mem/233", r.Served, r.Latency)
+	}
+	r = h.AccessData(a)
+	if r.Served != LevelL1 || r.Latency != 3 {
+		t.Fatalf("second access: served=%v lat=%d, want L1/3", r.Served, r.Latency)
+	}
+	if h.DataAccesses != 2 || h.LLCMissCount != 1 {
+		t.Fatalf("counters: %d accesses, %d LLC misses", h.DataAccesses, h.LLCMissCount)
+	}
+}
+
+func TestHierarchyLLCHit(t *testing.T) {
+	h := NewHierarchy(testHierarchyCfg(), nil)
+	// Touch enough distinct lines to evict line 0 from the tiny L1 but keep
+	// it in the LLC, then return to it: should be an LLC hit.
+	a := &mem.Access{Addr: 0}
+	h.AccessData(a)
+	for i := uint64(1); i <= 128; i++ {
+		h.AccessData(&mem.Access{Addr: mem.Addr(i * mem.LineSize)})
+	}
+	r := h.AccessData(a)
+	if r.Served != LevelLLC {
+		t.Fatalf("served=%v, want LLC", r.Served)
+	}
+	if r.Latency != 3+30 {
+		t.Fatalf("latency=%d, want 33", r.Latency)
+	}
+}
+
+// fixedOracle treats every miss at its level as a warming hit.
+type fixedOracle struct {
+	level Level
+	calls int
+}
+
+func (o *fixedOracle) OverrideMiss(a *mem.Access, lv Level) bool {
+	o.calls++
+	return lv == o.level
+}
+
+func TestOracleOverrideL1(t *testing.T) {
+	o := &fixedOracle{level: LevelL1}
+	h := NewHierarchy(testHierarchyCfg(), o)
+	r := h.AccessData(&mem.Access{Addr: 0x2000})
+	if !r.WarmingHit || r.Served != LevelL1 || r.Latency != 3 {
+		t.Fatalf("override failed: %+v", r)
+	}
+	if h.WarmingHits != 1 {
+		t.Fatalf("WarmingHits = %d, want 1", h.WarmingHits)
+	}
+}
+
+func TestOracleOverrideLLC(t *testing.T) {
+	o := &fixedOracle{level: LevelLLC}
+	h := NewHierarchy(testHierarchyCfg(), o)
+	r := h.AccessData(&mem.Access{Addr: 0x2000})
+	if !r.WarmingHit || r.Served != LevelLLC || r.Latency != 33 {
+		t.Fatalf("override failed: %+v", r)
+	}
+	if h.LLCMissCount != 0 {
+		t.Fatal("override should suppress the LLC miss count")
+	}
+}
+
+func TestWarmDataInstallsWithoutOracle(t *testing.T) {
+	o := &fixedOracle{level: LevelL1}
+	h := NewHierarchy(testHierarchyCfg(), o)
+	h.WarmData(100)
+	if o.calls != 0 {
+		t.Fatal("WarmData must not consult the oracle")
+	}
+	if !h.L1D.Probe(100) || !h.LLC.Probe(100) {
+		t.Fatal("WarmData should install in both levels")
+	}
+}
+
+func TestAccessInstr(t *testing.T) {
+	h := NewHierarchy(testHierarchyCfg(), nil)
+	if lat := h.AccessInstr(7); lat != 1+30+200 {
+		t.Fatalf("cold fetch lat=%d, want 231", lat)
+	}
+	if lat := h.AccessInstr(7); lat != 1 {
+		t.Fatalf("warm fetch lat=%d, want 1", lat)
+	}
+}
+
+func TestStridePrefetcher(t *testing.T) {
+	p := NewStridePrefetcher(8, 2)
+	pc := uint64(0x400100)
+	// Train: misses at lines 10, 20, 30, 40 (stride 10).
+	var out []mem.Line
+	for _, l := range []mem.Line{10, 20, 30, 40, 50} {
+		out = p.Observe(pc, l, true)
+	}
+	if len(out) != 2 || out[0] != 60 || out[1] != 70 {
+		t.Fatalf("prefetch = %v, want [60 70]", out)
+	}
+	// A stride change resets confidence.
+	if out = p.Observe(pc, 51, true); len(out) != 0 {
+		t.Fatalf("stride change should not prefetch, got %v", out)
+	}
+}
+
+func TestPrefetcherStreamReplacement(t *testing.T) {
+	p := NewStridePrefetcher(2, 1)
+	p.Observe(1, 10, true)
+	p.Observe(2, 20, true)
+	p.Observe(3, 30, true) // evicts the LRU stream (pc 1)
+	found := 0
+	for _, s := range p.streams {
+		if s.valid && (s.pc == 2 || s.pc == 3) {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("stream table should hold pcs 2 and 3, got %+v", p.streams)
+	}
+}
+
+func TestHierarchyPrefetchInstalls(t *testing.T) {
+	cfg := testHierarchyCfg()
+	cfg.Prefetch = true
+	cfg.PrefStreams = 8
+	cfg.PrefDegree = 2
+	h := NewHierarchy(cfg, nil)
+	pc := uint64(0x400200)
+	stride := uint64(64 * 64) // 64-line stride, distinct L1 sets
+	for i := uint64(0); i < 6; i++ {
+		h.AccessData(&mem.Access{PC: pc, Addr: mem.Addr(i * stride)})
+	}
+	if h.PrefIssued == 0 {
+		t.Fatal("prefetcher never issued")
+	}
+	// The next strided line should now be an LLC hit (prefetched).
+	r := h.AccessData(&mem.Access{PC: pc, Addr: mem.Addr(6 * stride)})
+	if r.Served == LevelMem {
+		t.Fatalf("prefetched line served from %v, want LLC or better", r.Served)
+	}
+}
+
+func TestDefaultHierarchyScaling(t *testing.T) {
+	cfg := DefaultHierarchy(8<<20, 64)
+	if cfg.LLC.SizeB != 128*1024 {
+		t.Errorf("LLC = %d, want 128 KiB (8 MiB / 64)", cfg.LLC.SizeB)
+	}
+	if cfg.L1D.SizeB < 4*1024 {
+		t.Errorf("L1D = %d, want >= 4 KiB floor", cfg.L1D.SizeB)
+	}
+	cfg = DefaultHierarchy(1<<20, 1024)
+	if cfg.LLC.SizeB < 8*1024 {
+		t.Errorf("LLC floor violated: %d", cfg.LLC.SizeB)
+	}
+}

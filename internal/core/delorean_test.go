@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/reuse"
+	"repro/internal/vm"
+	"repro/internal/warm"
+	"repro/internal/workload"
+)
+
+// testConfig returns a small, fast configuration: 3 regions, 1M-instruction
+// gap at scale 1, so every Explorer window is exercised.
+func testConfig() warm.Config {
+	cfg := warm.DefaultConfig()
+	cfg.Regions = 3
+	cfg.PaperGap = 1_000_000
+	cfg.Scale = 1
+	cfg.LLCPaperBytes = 256 * 1024
+	cfg.VicinityEvery = 5_000
+	return cfg
+}
+
+// testProfile spreads reuses across all Explorer windows at the test gap.
+func testProfile() *workload.Profile {
+	return &workload.Profile{
+		Name: "core-test", MemRatio: 0.4, BranchRatio: 0.1, FPFrac: 0.1,
+		LoopDuty: 16, RandomBranchFrac: 0.05, ILP: 4, CodeKiB: 8, Seed: 77,
+		Streams: []workload.StreamSpec{
+			{Kind: workload.Rand, Weight: 0.55, PaperBytes: 2 * 1024, PCs: 8, WriteFrac: 0.3},         // hot
+			{Kind: workload.Seq, Weight: 0.25, PaperBytes: 64 * 1024, PCs: 4, WriteFrac: 0.4},         // ~E1
+			{Kind: workload.Rand, Weight: 0.15, PaperBytes: 512 * 1024, PCs: 4, WriteFrac: 0.2},       // ~E2/E3
+			{Kind: workload.Chase, Weight: 0.05, PaperBytes: 2 * 1024 * 1024, PCs: 2, WriteFrac: 0.1}, // ~E4
+		},
+	}
+}
+
+// groundTruth computes, for every region, the exact backward reuse
+// distance of each line's first in-region access, by replaying the whole
+// span with an exact monitor. It also returns the memory-access index at
+// each region start, which bounds the largest Explorer window.
+func groundTruth(prof *workload.Profile, cfg warm.Config) ([]map[mem.Line]uint64, []uint64) {
+	prog := prof.NewProgram(cfg.Scale)
+	eng := vm.NewEngine(prog)
+	mon := reuse.NewExactMonitor()
+	out := make([]map[mem.Line]uint64, cfg.Regions)
+	memAtStart := make([]uint64, cfg.Regions)
+	const never = ^uint64(0)
+	for m := 0; m < cfg.Regions; m++ {
+		start := cfg.RegionStart(m)
+		n := start - prog.InstrIndex()
+		eng.RunFunc(n, false, func(ins *workload.Instr, a *mem.Access) {
+			if a != nil {
+				mon.Observe(a)
+			}
+		})
+		memAtStart[m] = prog.MemIndex()
+		dists := make(map[mem.Line]uint64)
+		eng.RunFunc(cfg.RegionLen, false, func(ins *workload.Instr, a *mem.Access) {
+			if a == nil {
+				return
+			}
+			if _, dup := dists[a.Line()]; !dup {
+				d, seen := mon.Observe(a)
+				if !seen {
+					d = never
+				}
+				dists[a.Line()] = d
+			} else {
+				mon.Observe(a)
+			}
+		})
+		out[m] = dists
+	}
+	return out, memAtStart
+}
+
+// TestKeyReusesExact is the central correctness property of time
+// traveling: every key reuse distance the Explorers collect must equal the
+// exact backward reuse distance of that key's first in-region access.
+func TestKeyReusesExact(t *testing.T) {
+	prof := testProfile()
+	cfg := testConfig()
+	truth, memAtStart := groundTruth(prof, cfg)
+
+	d := New(prof, cfg)
+	var allRecords [][]reuse.KeyRecord
+	for m := 0; m < cfg.Regions; m++ {
+		msg := d.ScoutRegion(m)
+		for k := range d.explorers {
+			d.ExploreRegion(k, msg)
+		}
+		allRecords = append(allRecords, msg.AllRecords())
+		d.AnalyzeRegion(msg)
+	}
+
+	const never = ^uint64(0)
+	checked := 0
+	for m, recs := range allRecords {
+		for _, r := range recs {
+			want, inRegion := truth[m][r.Line]
+			if !inRegion {
+				t.Fatalf("region %d: key %d not in ground-truth region lines", m, r.Line)
+			}
+			if r.Found {
+				if r.Dist != want {
+					t.Errorf("region %d line %d: collected dist %d, exact %d (explorer %d)",
+						m, r.Line, r.Dist, want, r.Explorer)
+				}
+				checked++
+			} else if want != never {
+				// Unresolved keys must genuinely have no reuse within the
+				// largest window: their last pre-region access must precede
+				// the window start (one gap before the region start).
+				winStartMem := uint64(0)
+				if m > 0 {
+					winStartMem = memAtStart[m-1]
+				}
+				lastAccess := r.FirstMem - want
+				if lastAccess >= winStartMem {
+					t.Errorf("region %d line %d: unresolved but last access (mem %d) is inside the window (starts at mem %d)",
+						m, r.Line, lastAccess, winStartMem)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no key reuses collected at all")
+	}
+	t.Logf("verified %d key reuse distances exactly", checked)
+}
+
+// TestExplorerWindowAssignment: a key resolved by Explorer k must have
+// been unresolvable by Explorer k-1 (its last access lies outside the
+// nearer window).
+func TestExplorerWindowAssignment(t *testing.T) {
+	prof := testProfile()
+	cfg := testConfig()
+	d := New(prof, cfg)
+	for m := 0; m < cfg.Regions; m++ {
+		msg := d.ScoutRegion(m)
+		for k := range d.explorers {
+			d.ExploreRegion(k, msg)
+		}
+		memRatio := prof.MemRatio
+		for _, r := range msg.Records {
+			if r.Explorer <= 1 {
+				continue
+			}
+			prevWindowInstr := cfg.WindowInstr(r.Explorer - 2)
+			// Convert conservatively: the access happened at least
+			// prevWindow instructions before the region if its memory
+			// distance exceeds the window's plausible access count.
+			maxMemInPrev := uint64(float64(prevWindowInstr) * memRatio * 1.5)
+			if r.Dist < maxMemInPrev/3 {
+				t.Errorf("region %d line %d: explorer %d found dist %d, far inside window %d's reach",
+					m, r.Line, r.Explorer, r.Dist, r.Explorer-1)
+			}
+		}
+		d.AnalyzeRegion(msg)
+	}
+}
+
+// TestSequentialPipelinedEquivalence: the goroutine pipeline must produce
+// exactly the sequential results.
+func TestSequentialPipelinedEquivalence(t *testing.T) {
+	prof := testProfile()
+	cfg := testConfig()
+	seq := New(prof, cfg).RunSequential()
+	pipe := New(prof, cfg).RunPipelined()
+	if len(seq.Regions) != len(pipe.Regions) {
+		t.Fatalf("region counts differ: %d vs %d", len(seq.Regions), len(pipe.Regions))
+	}
+	for i := range seq.Regions {
+		if seq.Regions[i].Stats != pipe.Regions[i].Stats {
+			t.Errorf("region %d stats differ:\nseq  %+v\npipe %+v",
+				i, seq.Regions[i].Stats, pipe.Regions[i].Stats)
+		}
+	}
+	if seq.AvgExplorers != pipe.AvgExplorers {
+		t.Errorf("AvgExplorers differ: %f vs %f", seq.AvgExplorers, pipe.AvgExplorers)
+	}
+	for _, name := range seq.Counters.Names() {
+		if a, b := seq.Counters.Get(name), pipe.Counters.Get(name); a != b {
+			t.Errorf("counter %s differs: %f vs %f", name, a, b)
+		}
+	}
+}
+
+// TestHotWorkloadNeedsNoExplorers: a fully cache-resident workload must
+// filter out essentially all keys at the Scout (the bwaves behaviour:
+// average engaged Explorers below 1).
+func TestHotWorkloadNeedsNoExplorers(t *testing.T) {
+	prof := &workload.Profile{
+		Name: "hot-only", MemRatio: 0.4, BranchRatio: 0.1, LoopDuty: 32,
+		ILP: 6, CodeKiB: 4, Seed: 5,
+		Streams: []workload.StreamSpec{
+			{Kind: workload.Rand, Weight: 1, PaperBytes: 2 * 1024, PCs: 8},
+		},
+	}
+	cfg := testConfig()
+	res := Run(prof, cfg)
+	if res.AvgExplorers > 0.5 {
+		t.Errorf("hot workload engaged %.2f explorers on average, want < 0.5", res.AvgExplorers)
+	}
+	if cpi := res.CPI(); cpi <= 0 {
+		t.Errorf("CPI = %f, want > 0", cpi)
+	}
+}
+
+// TestKeyAccounting: keys found across explorers plus unresolved must
+// equal the Scout's total.
+func TestKeyAccounting(t *testing.T) {
+	res := Run(testProfile(), testConfig())
+	total := res.Counters.Get("fix/keys_total")
+	var sum float64
+	for k := 0; k <= 4; k++ {
+		sum += float64(res.KeysPerExplorer[k])
+	}
+	if total != sum {
+		t.Errorf("key accounting: total %f != sum over explorers %f", total, sum)
+	}
+	if total == 0 {
+		t.Error("no keys at all — test profile too cache-friendly")
+	}
+}
+
+// TestVicinityCollected: engaged explorers must contribute vicinity
+// samples, and the count must be far below an RSW-style dense profile.
+func TestVicinityCollected(t *testing.T) {
+	res := Run(testProfile(), testConfig())
+	v := res.Counters.Get("fix/reuse_vicinity")
+	if v == 0 {
+		t.Fatal("no vicinity samples collected")
+	}
+}
+
+// TestDeLoreanFasterThanNaive: the simulated pipelined time must beat the
+// single-pass ledger sum (pipelining across regions is the point of TT).
+func TestDeLoreanTimeLedger(t *testing.T) {
+	cfg := testConfig()
+	res := Run(testProfile(), cfg)
+	total := res.SimSeconds(cfg.Cost)
+	pipe := res.SimSecondsPipelined(cfg.Cost)
+	if pipe <= 0 || total <= 0 {
+		t.Fatal("ledger produced no time")
+	}
+	if pipe > total {
+		t.Errorf("pipelined time %f exceeds total %f", pipe, total)
+	}
+	if math.Abs(res.WarmingSeconds+res.AnalystSeconds-total) > total*1e-9 {
+		t.Errorf("warming %f + analyst %f != total %f",
+			res.WarmingSeconds, res.AnalystSeconds, total)
+	}
+}

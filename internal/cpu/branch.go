@@ -1,0 +1,130 @@
+// Package cpu provides the detailed-region timing substrate: a tournament
+// branch predictor and an out-of-order dependence-timing core modeled after
+// gem5's default OoO x86 configuration (the paper's Table 1). It produces
+// the CPI that Figures 9, 10, 12 and 14 report.
+package cpu
+
+// BPConfig sizes the tournament predictor (Table 1: 2-bit choice counters
+// with 8 k entries, 2-bit local counters with 2 k entries, 2-bit global
+// counters with 8 k entries, 4 k-entry BTB).
+type BPConfig struct {
+	LocalEntries  int
+	GlobalEntries int
+	ChoiceEntries int
+	BTBEntries    int
+}
+
+// DefaultBPConfig matches Table 1.
+func DefaultBPConfig() BPConfig {
+	return BPConfig{LocalEntries: 2048, GlobalEntries: 8192, ChoiceEntries: 8192, BTBEntries: 4096}
+}
+
+// BranchPred is a tournament predictor: a per-PC local component, a
+// global-history component, and a choice table picking between them.
+type BranchPred struct {
+	cfg    BPConfig
+	local  []uint8
+	global []uint8
+	choice []uint8
+	btb    []uint64
+	ghr    uint64
+
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// NewBranchPred builds a predictor with all counters weakly not-taken.
+func NewBranchPred(cfg BPConfig) *BranchPred {
+	p := &BranchPred{
+		cfg:    cfg,
+		local:  make([]uint8, cfg.LocalEntries),
+		global: make([]uint8, cfg.GlobalEntries),
+		choice: make([]uint8, cfg.ChoiceEntries),
+		btb:    make([]uint64, cfg.BTBEntries),
+	}
+	// Counters start weakly taken: branches are overwhelmingly loop
+	// branches, so a taken-biased cold predictor converges much faster
+	// during the short detailed-warming window.
+	for i := range p.local {
+		p.local[i] = 2
+	}
+	for i := range p.global {
+		p.global[i] = 2
+	}
+	for i := range p.choice {
+		p.choice[i] = 2 // slight initial preference for the global component
+	}
+	return p
+}
+
+func taken(ctr uint8) bool { return ctr >= 2 }
+
+func bump(ctr uint8, t bool) uint8 {
+	if t {
+		if ctr < 3 {
+			return ctr + 1
+		}
+		return 3
+	}
+	if ctr > 0 {
+		return ctr - 1
+	}
+	return 0
+}
+
+// PredictAndUpdate predicts branch pc, updates all tables with the actual
+// outcome, and reports whether the prediction was correct.
+func (p *BranchPred) PredictAndUpdate(pc uint64, actual bool) bool {
+	li := int(pc>>2) % len(p.local)
+	gi := int((pc>>2)^p.ghr) % len(p.global)
+	ci := int(p.ghr) % len(p.choice)
+
+	localPred := taken(p.local[li])
+	globalPred := taken(p.global[gi])
+	useGlobal := taken(p.choice[ci])
+	pred := localPred
+	if useGlobal {
+		pred = globalPred
+	}
+
+	// Choice table trains toward whichever component was right.
+	if localPred != globalPred {
+		p.choice[ci] = bump(p.choice[ci], globalPred == actual)
+	}
+	p.local[li] = bump(p.local[li], actual)
+	p.global[gi] = bump(p.global[gi], actual)
+	p.ghr = ((p.ghr << 1) | b2u(actual)) & 0x1fff // 13 bits of history
+
+	// BTB: a taken branch with a missing BTB entry is also a misfetch.
+	bi := int(pc>>2) % len(p.btb)
+	btbHit := p.btb[bi] == pc
+	if actual {
+		p.btb[bi] = pc
+	}
+
+	p.Lookups++
+	correct := pred == actual && (!actual || btbHit)
+	if !correct {
+		p.Mispredicts++
+	}
+	return correct
+}
+
+// MispredictRate returns mispredicts / lookups.
+func (p *BranchPred) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}
+
+// ResetStats clears the statistics but keeps the learned state (used
+// between detailed warming and the measured region).
+func (p *BranchPred) ResetStats() { p.Lookups, p.Mispredicts = 0, 0 }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,283 @@
+package cpu
+
+import (
+	"container/heap"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// Config sizes the out-of-order core (Table 1: 192-entry ROB, 64-entry
+// IQ/LQ/SQ, 8-wide issue). The IQ/LQ/SQ bounds are folded into the ROB and
+// MSHR constraints in this dependence-timing model; they are kept in the
+// configuration for completeness and reporting.
+type Config struct {
+	Width             int
+	ROB               int
+	IQ, LQ, SQ        int
+	MispredictPenalty uint64
+	BP                BPConfig
+}
+
+// DefaultConfig matches Table 1.
+func DefaultConfig() Config {
+	return Config{Width: 8, ROB: 192, IQ: 64, LQ: 64, SQ: 64,
+		MispredictPenalty: 14, BP: DefaultBPConfig()}
+}
+
+// Stats aggregates one simulated interval.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	MemAccesses  uint64
+	L1DHits      uint64
+	MSHRHits     uint64 // delayed hits: miss on a line already in flight
+	LLCHits      uint64
+	MemServed    uint64
+	WarmingHits  uint64
+	BrLookups    uint64
+	BrMispred    uint64
+}
+
+// CPI returns cycles per instruction.
+func (s Stats) CPI() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instructions)
+}
+
+// LukewarmHitRate is the fraction of data accesses served as L1 hits —
+// the statistic the paper quotes for the lukewarm cache (avg 93.5%).
+func (s Stats) LukewarmHitRate() float64 {
+	if s.MemAccesses == 0 {
+		return 0
+	}
+	return float64(s.L1DHits) / float64(s.MemAccesses)
+}
+
+// HitOrDelayedRate additionally counts MSHR hits (paper: avg 96.7%).
+func (s Stats) HitOrDelayedRate() float64 {
+	if s.MemAccesses == 0 {
+		return 0
+	}
+	return float64(s.L1DHits+s.MSHRHits) / float64(s.MemAccesses)
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Instructions += o.Instructions
+	s.Cycles += o.Cycles
+	s.MemAccesses += o.MemAccesses
+	s.L1DHits += o.L1DHits
+	s.MSHRHits += o.MSHRHits
+	s.LLCHits += o.LLCHits
+	s.MemServed += o.MemServed
+	s.WarmingHits += o.WarmingHits
+	s.BrLookups += o.BrLookups
+	s.BrMispred += o.BrMispred
+}
+
+// mshrHeap orders outstanding miss completion times.
+type mshrHeap []uint64
+
+func (h mshrHeap) Len() int            { return len(h) }
+func (h mshrHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h mshrHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mshrHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *mshrHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Core is the out-of-order dependence-timing model. Per instruction it
+// computes a dispatch cycle (bounded by fetch width, ROB occupancy and
+// branch redirects) and a completion cycle (bounded by register
+// dependences and memory latency with MSHR-limited parallelism); the
+// elapsed cycle count of an interval is the critical path through those
+// constraints. This is the interval-model style of timing simulation that
+// Sniper popularized, and it preserves exactly the effects statistical
+// warming must predict: latency differences between cache levels,
+// MSHR-limited overlap, and branch-misprediction serialization.
+type Core struct {
+	Cfg  Config
+	BP   *BranchPred
+	Hier *cache.Hierarchy
+
+	cycle       uint64 // dispatch front cycle (fixed point: subcycles via width counting)
+	widthCount  int
+	fetchStall  uint64   // cycle until which the front-end is squashed
+	completion  []uint64 // ring buffer of the last ROB completion times
+	head        int
+	outstanding map[mem.Line]uint64 // line -> completion cycle
+	mshrFree    mshrHeap
+	maxComplete uint64
+}
+
+// NewCore builds a core over the given (already constructed) hierarchy and
+// predictor; both persist across Run calls so warming carries over.
+func NewCore(cfg Config, hier *cache.Hierarchy, bp *BranchPred) *Core {
+	if bp == nil {
+		bp = NewBranchPred(cfg.BP)
+	}
+	return &Core{
+		Cfg:         cfg,
+		BP:          bp,
+		Hier:        hier,
+		completion:  make([]uint64, cfg.ROB),
+		outstanding: make(map[mem.Line]uint64, cfg.L1DMSHRs()+1),
+	}
+}
+
+// L1DMSHRs returns the data-cache MSHR count from the hierarchy config.
+func (c Config) L1DMSHRs() int { return 8 }
+
+// Run executes n instructions of prog through the timing model and returns
+// the interval's statistics. Microarchitectural state (caches, predictor,
+// in-flight misses) persists across calls.
+func (c *Core) Run(prog *workload.Program, n uint64) Stats {
+	var st Stats
+	st.Instructions = n
+	mshrs := c.Hier.Cfg.L1D.MSHRs
+	if mshrs <= 0 {
+		mshrs = 8
+	}
+	startCycle := c.cycle
+	var ins workload.Instr
+	var acc mem.Access
+	for i := uint64(0); i < n; i++ {
+		memIdx := prog.MemIndex()
+		instrIdx := prog.InstrIndex()
+		prog.Next(&ins)
+
+		// Front end: width, redirect and ROB constraints.
+		c.widthCount++
+		if c.widthCount >= c.Cfg.Width {
+			c.widthCount = 0
+			c.cycle++
+		}
+		if c.fetchStall > c.cycle {
+			c.cycle = c.fetchStall
+			c.widthCount = 0
+		}
+		// Instruction fetch: an I-side miss stalls the front end.
+		if fl := c.Hier.AccessInstr(ins.FetchLine); fl > c.Hier.Cfg.L1I.HitLat {
+			c.cycle += uint64(fl - c.Hier.Cfg.L1I.HitLat)
+		}
+		// ROB: cannot dispatch past the completion of the instruction that
+		// frees our slot.
+		slot := c.head % c.Cfg.ROB
+		if c.completion[slot] > c.cycle {
+			c.cycle = c.completion[slot]
+			c.widthCount = 0
+		}
+		dispatch := c.cycle
+
+		// Register dependence.
+		ready := dispatch
+		dep := int(ins.DepDist)
+		if dep >= 1 && dep <= c.Cfg.ROB {
+			prodSlot := (c.head - dep + 2*c.Cfg.ROB) % c.Cfg.ROB
+			if t := c.completion[prodSlot]; t > ready {
+				ready = t
+			}
+		}
+
+		var complete uint64
+		switch ins.Kind {
+		case workload.KindLoad, workload.KindStore:
+			st.MemAccesses++
+			line := mem.LineOf(ins.Addr)
+			// Drain MSHRs whose miss has returned.
+			for len(c.mshrFree) > 0 && c.mshrFree[0] <= ready {
+				heap.Pop(&c.mshrFree)
+			}
+			if t, inFlight := c.outstanding[line]; inFlight && t > ready {
+				// Delayed hit: coalesce onto the existing MSHR.
+				st.MSHRHits++
+				complete = t
+			} else {
+				if inFlight {
+					delete(c.outstanding, line)
+				}
+				acc = mem.Access{PC: ins.PC, Addr: ins.Addr,
+					Write: ins.Kind == workload.KindStore, MemIdx: memIdx, InstrIdx: instrIdx}
+				r := c.Hier.AccessData(&acc)
+				if r.WarmingHit {
+					st.WarmingHits++
+				}
+				switch r.Served {
+				case cache.LevelL1:
+					st.L1DHits++
+				case cache.LevelLLC:
+					st.LLCHits++
+				default:
+					st.MemServed++
+				}
+				issue := ready
+				if r.Served != cache.LevelL1 {
+					// Allocate an MSHR; stall issue if none free.
+					if len(c.mshrFree) >= mshrs {
+						if t := c.mshrFree[0]; t > issue {
+							issue = t
+						}
+						heap.Pop(&c.mshrFree)
+					}
+					complete = issue + uint64(r.Latency)
+					heap.Push(&c.mshrFree, complete)
+					c.outstanding[line] = complete
+					if len(c.outstanding) > 4*mshrs {
+						c.pruneOutstanding(ready)
+					}
+				} else {
+					complete = issue + uint64(r.Latency)
+				}
+			}
+			if ins.Kind == workload.KindStore {
+				// Stores retire through the store buffer; they occupy the
+				// MSHR (modeled above) but do not stall dependents.
+				complete = ready + 1
+			}
+		case workload.KindBranch:
+			complete = ready + uint64(ins.Lat)
+			st.BrLookups++
+			if !c.BP.PredictAndUpdate(ins.PC, ins.Taken) {
+				st.BrMispred++
+				// Front end squashed until the branch resolves.
+				if r := complete + c.Cfg.MispredictPenalty; r > c.fetchStall {
+					c.fetchStall = r
+				}
+			}
+		default:
+			complete = ready + uint64(ins.Lat)
+		}
+
+		c.completion[slot] = complete
+		c.head++
+		if complete > c.maxComplete {
+			c.maxComplete = complete
+		}
+	}
+	end := c.cycle
+	if c.maxComplete > end {
+		end = c.maxComplete
+	}
+	st.Cycles = end - startCycle
+	// Advance the dispatch clock so the next interval starts after this
+	// interval's critical path.
+	c.cycle = end
+	return st
+}
+
+// pruneOutstanding drops completed in-flight entries (bounded map size).
+func (c *Core) pruneOutstanding(now uint64) {
+	for l, t := range c.outstanding {
+		if t <= now {
+			delete(c.outstanding, l)
+		}
+	}
+}

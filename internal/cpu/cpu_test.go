@@ -1,0 +1,220 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+func testHier(llcKiB uint64) *cache.Hierarchy {
+	cfg := cache.HierarchyConfig{
+		L1I:    cache.Config{Name: "L1I", SizeB: 4 * 1024, Assoc: 2, MSHRs: 4, HitLat: 1},
+		L1D:    cache.Config{Name: "L1D", SizeB: 4 * 1024, Assoc: 2, MSHRs: 8, HitLat: 3},
+		LLC:    cache.Config{Name: "LLC", SizeB: llcKiB * 1024, Assoc: 8, MSHRs: 20, HitLat: 30},
+		MemLat: 200,
+	}
+	return cache.NewHierarchy(cfg, nil)
+}
+
+func computeProfile() *workload.Profile {
+	return &workload.Profile{
+		Name: "compute", MemRatio: 0.2, BranchRatio: 0.1, FPFrac: 0.2,
+		LoopDuty: 64, RandomBranchFrac: 0, ILP: 8, CodeKiB: 2, Seed: 1,
+		Streams: []workload.StreamSpec{
+			{Kind: workload.Rand, Weight: 1, PaperBytes: 2 * 1024}, // 32 lines, L1-resident
+		},
+	}
+}
+
+func TestBranchPredLearnsBias(t *testing.T) {
+	p := NewBranchPred(DefaultBPConfig())
+	// Strongly biased branch: ~always taken.
+	for i := 0; i < 1000; i++ {
+		p.PredictAndUpdate(0x800000, true)
+	}
+	p.ResetStats()
+	for i := 0; i < 1000; i++ {
+		p.PredictAndUpdate(0x800000, true)
+	}
+	if r := p.MispredictRate(); r > 0.01 {
+		t.Errorf("trained biased branch mispredict rate %f, want ~0", r)
+	}
+}
+
+func TestBranchPredLearnsLoopPattern(t *testing.T) {
+	p := NewBranchPred(DefaultBPConfig())
+	// Loop with duty 8: T T T T T T T N repeating; the global component
+	// should learn the exit. Train, then measure.
+	duty := 8
+	run := func(n int) float64 {
+		p.ResetStats()
+		for i := 0; i < n; i++ {
+			p.PredictAndUpdate(0x800040, i%duty != duty-1)
+		}
+		return p.MispredictRate()
+	}
+	run(4000)
+	if r := run(4000); r > 0.10 {
+		t.Errorf("loop-pattern mispredict rate %f, want < 0.10", r)
+	}
+}
+
+func TestBranchPredRandomIsHard(t *testing.T) {
+	p := NewBranchPred(DefaultBPConfig())
+	x := uint64(88172645463325252)
+	p.ResetStats()
+	for i := 0; i < 20000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p.PredictAndUpdate(0x800080, x&1 == 1)
+	}
+	r := p.MispredictRate()
+	if r < 0.35 || r > 0.65 {
+		t.Errorf("random-branch mispredict rate %f, want ~0.5", r)
+	}
+}
+
+// TestCPILowerBound: CPI can never beat 1/width.
+func TestCPILowerBound(t *testing.T) {
+	prog := computeProfile().NewProgram(1)
+	core := NewCore(DefaultConfig(), testHier(64), nil)
+	core.Run(prog, 20000) // warm
+	st := core.Run(prog, 50000)
+	if cpi := st.CPI(); cpi < 1.0/float64(core.Cfg.Width) {
+		t.Errorf("CPI %f below width bound %f", cpi, 1.0/float64(core.Cfg.Width))
+	}
+}
+
+// TestComputeBoundCPI: an L1-resident, predictable workload should run
+// near its dependence-limited CPI, well under 1.5.
+func TestComputeBoundCPI(t *testing.T) {
+	prog := computeProfile().NewProgram(1)
+	core := NewCore(DefaultConfig(), testHier(64), nil)
+	core.Run(prog, 30000)
+	st := core.Run(prog, 100000)
+	if cpi := st.CPI(); cpi > 1.5 {
+		t.Errorf("compute-bound CPI = %f, want < 1.5", cpi)
+	}
+	if st.LukewarmHitRate() < 0.95 {
+		t.Errorf("L1 hit rate %f, want ~1 for tiny working set", st.LukewarmHitRate())
+	}
+}
+
+// TestMemoryBoundCPI: a huge random working set must be dramatically
+// slower than the compute-bound workload.
+func TestMemoryBoundCPI(t *testing.T) {
+	memProf := &workload.Profile{
+		Name: "membound", MemRatio: 0.4, BranchRatio: 0.1, LoopDuty: 8,
+		RandomBranchFrac: 0.2, ILP: 2, CodeKiB: 2, Seed: 2,
+		Streams: []workload.StreamSpec{
+			{Kind: workload.Rand, Weight: 1, PaperBytes: 64 * 1024 * 1024},
+		},
+	}
+	prog := memProf.NewProgram(1)
+	core := NewCore(DefaultConfig(), testHier(256), nil)
+	core.Run(prog, 30000)
+	st := core.Run(prog, 100000)
+	if cpi := st.CPI(); cpi < 2.0 {
+		t.Errorf("memory-bound CPI = %f, want > 2", cpi)
+	}
+	if st.MemServed == 0 {
+		t.Error("memory-bound workload never reached memory")
+	}
+}
+
+// TestMSHRCoalescing: repeated accesses to one missing line must coalesce
+// into delayed hits rather than separate misses.
+func TestMSHRCoalescing(t *testing.T) {
+	// A stride-0 stream: every access the same tiny set of lines, but the
+	// program interleaves so we build it manually through the hierarchy.
+	prof := &workload.Profile{
+		Name: "coalesce", MemRatio: 0.9, BranchRatio: 0.02, LoopDuty: 8,
+		ILP: 8, CodeKiB: 2, Seed: 3,
+		Streams: []workload.StreamSpec{
+			{Kind: workload.Seq, Weight: 1, PaperBytes: 16 * 64, StrideLines: 0},
+		},
+	}
+	prog := prof.NewProgram(1)
+	core := NewCore(DefaultConfig(), testHier(64), nil)
+	st := core.Run(prog, 5000)
+	if st.MSHRHits == 0 {
+		t.Error("dense same-line misses produced no MSHR hits")
+	}
+}
+
+// TestWarmingCarriesOver: running the same program region twice must be
+// faster the second time (caches and predictor warm).
+func TestWarmingCarriesOver(t *testing.T) {
+	prof := computeProfile()
+	progA := prof.NewProgram(1)
+	coreA := NewCore(DefaultConfig(), testHier(64), nil)
+	cold := coreA.Run(progA, 20000)
+
+	progB := prof.NewProgram(1)
+	coreB := NewCore(DefaultConfig(), testHier(64), nil)
+	coreB.Run(progB, 20000)
+	progB.Reset()
+	warm := coreB.Run(progB, 20000)
+	if warm.Cycles >= cold.Cycles {
+		t.Errorf("warm run (%d cycles) not faster than cold (%d)", warm.Cycles, cold.Cycles)
+	}
+}
+
+// TestOracleReducesCycles: an always-hit oracle must make a memory-bound
+// region at least as fast as without it.
+type hitAllOracle struct{}
+
+func (hitAllOracle) OverrideMiss(a *mem.Access, lv cache.Level) bool { return lv == cache.LevelLLC }
+
+func TestOracleReducesCycles(t *testing.T) {
+	memProf := &workload.Profile{
+		Name: "membound2", MemRatio: 0.4, BranchRatio: 0.05, LoopDuty: 16,
+		ILP: 3, CodeKiB: 2, Seed: 4,
+		Streams: []workload.StreamSpec{
+			{Kind: workload.Rand, Weight: 1, PaperBytes: 32 * 1024 * 1024},
+		},
+	}
+	run := func(oracle cache.Oracle) Stats {
+		prog := memProf.NewProgram(1)
+		h := testHier(128)
+		h.Oracle = oracle
+		core := NewCore(DefaultConfig(), h, nil)
+		return core.Run(prog, 50000)
+	}
+	plain := run(nil)
+	forced := run(hitAllOracle{})
+	if forced.Cycles >= plain.Cycles {
+		t.Errorf("oracle-hits run (%d cycles) not faster than plain (%d)", forced.Cycles, plain.Cycles)
+	}
+	if forced.WarmingHits == 0 {
+		t.Error("oracle produced no warming hits")
+	}
+	if forced.MemServed != 0 {
+		t.Errorf("LLC-hit oracle should eliminate memory accesses, got %d", forced.MemServed)
+	}
+}
+
+// TestStatsAccumulate checks Stats.Add and derived rates.
+func TestStatsAccumulate(t *testing.T) {
+	a := Stats{Instructions: 100, Cycles: 200, MemAccesses: 10, L1DHits: 8, MSHRHits: 1}
+	b := Stats{Instructions: 100, Cycles: 100, MemAccesses: 10, L1DHits: 2}
+	a.Add(b)
+	if a.Instructions != 200 || a.Cycles != 300 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+	if a.CPI() != 1.5 {
+		t.Errorf("CPI = %f, want 1.5", a.CPI())
+	}
+	if a.LukewarmHitRate() != 0.5 {
+		t.Errorf("LukewarmHitRate = %f, want 0.5", a.LukewarmHitRate())
+	}
+	if a.HitOrDelayedRate() != 0.55 {
+		t.Errorf("HitOrDelayedRate = %f, want 0.55", a.HitOrDelayedRate())
+	}
+	if (Stats{}).CPI() != 0 {
+		t.Error("zero-instruction CPI should be 0")
+	}
+}

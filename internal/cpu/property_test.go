@@ -1,0 +1,80 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+// Property: cycles are monotone in memory latency — a hierarchy with a
+// larger LLC never yields more cycles for the same LRU trace.
+func TestBiggerLLCNeverSlower(t *testing.T) {
+	prof := &workload.Profile{
+		Name: "mono", MemRatio: 0.4, BranchRatio: 0.1, LoopDuty: 16,
+		ILP: 4, CodeKiB: 4, Seed: 91,
+		Streams: []workload.StreamSpec{
+			{Kind: workload.Rand, Weight: 0.5, PaperBytes: 4 * 1024, Burst: 4},
+			{Kind: workload.Seq, Weight: 0.5, PaperBytes: 512 * 1024, Burst: 4},
+		},
+	}
+	run := func(llcKiB uint64) uint64 {
+		prog := prof.NewProgram(1)
+		core := NewCore(DefaultConfig(), testHier(llcKiB), nil)
+		core.Run(prog, 30000)
+		return core.Run(prog, 50000).Cycles
+	}
+	prev := run(16)
+	for _, kib := range []uint64{64, 256, 1024} {
+		cyc := run(kib)
+		// Allow a tiny tolerance: set-count changes can shift individual
+		// conflict evictions even when capacity grows.
+		if float64(cyc) > float64(prev)*1.02 {
+			t.Errorf("LLC %d KiB: %d cycles > previous %d", kib, cyc, prev)
+		}
+		prev = cyc
+	}
+}
+
+// Property: the core is deterministic — same program, same cycles.
+func TestCoreDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		prof := &workload.Profile{
+			Name: "det", MemRatio: 0.35, BranchRatio: 0.12, LoopDuty: 8,
+			RandomBranchFrac: 0.2, ILP: 3, CodeKiB: 4, Seed: seed,
+			Streams: []workload.StreamSpec{
+				{Kind: workload.Rand, Weight: 1, PaperBytes: 128 * 1024, Burst: 2},
+			},
+		}
+		run := func() Stats {
+			prog := prof.NewProgram(1)
+			return NewCore(DefaultConfig(), testHier(64), nil).Run(prog, 20000)
+		}
+		return run() == run()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total classified accesses account for every memory access.
+func TestAccessAccounting(t *testing.T) {
+	prof := &workload.Profile{
+		Name: "acct", MemRatio: 0.4, BranchRatio: 0.1, LoopDuty: 8,
+		ILP: 4, CodeKiB: 4, Seed: 93,
+		Streams: []workload.StreamSpec{
+			{Kind: workload.Rand, Weight: 0.7, PaperBytes: 64 * 1024, Burst: 3},
+			{Kind: workload.Chase, Weight: 0.3, PaperBytes: 8 * 1024 * 1024},
+		},
+	}
+	prog := prof.NewProgram(1)
+	core := NewCore(DefaultConfig(), testHier(128), nil)
+	st := core.Run(prog, 60000)
+	sum := st.L1DHits + st.MSHRHits + st.LLCHits + st.MemServed
+	if sum != st.MemAccesses {
+		t.Fatalf("classified %d != total %d accesses", sum, st.MemAccesses)
+	}
+	if st.BrLookups == 0 || st.MemAccesses == 0 {
+		t.Fatal("degenerate run")
+	}
+}

@@ -1,0 +1,104 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/warm"
+	"repro/internal/workload"
+)
+
+func testCfg() warm.Config {
+	cfg := warm.DefaultConfig()
+	cfg.Regions = 2
+	cfg.PaperGap = 800_000
+	cfg.Scale = 1
+	cfg.VicinityEvery = 5_000
+	return cfg
+}
+
+func testProf() *workload.Profile {
+	return &workload.Profile{
+		Name: "dse-test", MemRatio: 0.4, BranchRatio: 0.1, LoopDuty: 16,
+		RandomBranchFrac: 0.05, ILP: 4, CodeKiB: 8, Seed: 51,
+		Streams: []workload.StreamSpec{
+			{Kind: workload.Rand, Weight: 0.5, PaperBytes: 4 * 1024, PCs: 8},
+			{Kind: workload.Rand, Weight: 0.3, PaperBytes: 128 * 1024, PCs: 4},
+			{Kind: workload.Rand, Weight: 0.2, PaperBytes: 1024 * 1024, PCs: 4},
+		},
+	}
+}
+
+func TestDSEMonotoneMisses(t *testing.T) {
+	sizes := []uint64{32 * 1024, 128 * 1024, 512 * 1024, 2048 * 1024}
+	res := Run(testProf(), testCfg(), sizes)
+	if len(res.PerSize) != len(sizes) {
+		t.Fatalf("per-size results = %d", len(res.PerSize))
+	}
+	prev := 1e18
+	for i, r := range res.PerSize {
+		mpki := r.LLCMPKI()
+		// Allow small non-monotonic noise (statistical classification).
+		if mpki > prev*1.25+0.5 {
+			t.Errorf("MPKI not ~monotone: size %d -> %f (prev %f)", sizes[i], mpki, prev)
+		}
+		prev = mpki
+		if cpi := r.CPI(); cpi <= 0 {
+			t.Errorf("size %d: CPI = %f", sizes[i], cpi)
+		}
+	}
+	// Larger caches must not be slower (CPI ordering, modulo noise).
+	first, last := res.PerSize[0].CPI(), res.PerSize[len(sizes)-1].CPI()
+	if last > first*1.1 {
+		t.Errorf("CPI grew with cache size: %f -> %f", first, last)
+	}
+}
+
+// TestDSEMatchesIndependentRuns: the shared-warmup Analysts must produce
+// the same per-size results as independent full DeLorean runs (same
+// records, same classifier) — the §3.3 amortization must be free.
+func TestDSEMatchesIndependentRuns(t *testing.T) {
+	cfg := testCfg()
+	prof := testProf()
+	sizes := []uint64{32 * 1024, 512 * 1024}
+	res := Run(prof, cfg, sizes)
+	for i, size := range sizes {
+		solo := warm.Config{}
+		solo = cfg
+		solo.LLCPaperBytes = size
+		// Independent run must use the same scout LLC for identical key
+		// sets: the smallest size of the sweep.
+		scout := cfg
+		scout.LLCPaperBytes = sizes[0]
+		_ = scout
+		ind := runIndependent(prof, solo, sizes[0])
+		if got, want := res.PerSize[i].CPI(), ind.CPI(); got != want {
+			t.Errorf("size %d: DSE CPI %f != independent %f", size, got, want)
+		}
+	}
+}
+
+// runIndependent evaluates one size with the scout pinned to scoutSize,
+// mirroring what the DSE driver does internally.
+func runIndependent(prof *workload.Profile, cfg warm.Config, scoutSize uint64) *warm.Result {
+	r := Run(prof, cfg, []uint64{scoutSize, cfg.LLCPaperBytes})
+	return r.PerSize[1]
+}
+
+func TestDSEAmortization(t *testing.T) {
+	cfg := testCfg()
+	sizes := []uint64{32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024,
+		512 * 1024, 1024 * 1024, 2048 * 1024, 4096 * 1024}
+	res := Run(testProf(), cfg, sizes)
+	mc := res.MarginalCost(cfg.Cost)
+	if mc < 1 {
+		t.Errorf("marginal cost %f < 1", mc)
+	}
+	// The whole point of §3.3: warming dominates, so N analysts cost far
+	// less than N full runs.
+	if mc > float64(len(sizes))/2 {
+		t.Errorf("marginal cost %f too high for %d analysts", mc, len(sizes))
+	}
+	if r := res.WarmingToDetailRatio(cfg.Cost); r <= 1 {
+		t.Errorf("warming/detail ratio = %f, want >> 1", r)
+	}
+}

@@ -1,0 +1,36 @@
+package dse
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestMarginalCostEmptyIsOne(t *testing.T) {
+	r := &Result{}
+	r.WarmingCounters = nil
+	// Degenerate result: no analysts at all.
+	defer func() {
+		if recover() != nil {
+			t.Fatal("MarginalCost must not panic on empty results")
+		}
+	}()
+	cm := vm.DefaultCostModel()
+	if r.WarmingToDetailRatio(cm) != 0 {
+		t.Error("empty result should report 0 warming/detail ratio")
+	}
+}
+
+func TestSingleSizeDSE(t *testing.T) {
+	cfg := testCfg()
+	res := Run(testProf(), cfg, []uint64{256 * 1024})
+	if len(res.PerSize) != 1 {
+		t.Fatalf("per-size = %d", len(res.PerSize))
+	}
+	if mc := res.MarginalCost(cfg.Cost); mc != 1 {
+		t.Errorf("single-analyst marginal cost = %f, want exactly 1", mc)
+	}
+	if res.PerSize[0].CPI() <= 0 {
+		t.Error("no CPI")
+	}
+}

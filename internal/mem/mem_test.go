@@ -1,0 +1,88 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGranularityConstants(t *testing.T) {
+	if LineSize != 64 {
+		t.Fatalf("LineSize = %d, want 64", LineSize)
+	}
+	if PageSize != 4096 {
+		t.Fatalf("PageSize = %d, want 4096", PageSize)
+	}
+	if LinesPerPage != 64 {
+		t.Fatalf("LinesPerPage = %d, want 64", LinesPerPage)
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		line Line
+	}{
+		{0, 0},
+		{63, 0},
+		{64, 1},
+		{65, 1},
+		{4095, 63},
+		{4096, 64},
+	}
+	for _, c := range cases {
+		if got := LineOf(c.addr); got != c.line {
+			t.Errorf("LineOf(%d) = %d, want %d", c.addr, got, c.line)
+		}
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		page Page
+	}{
+		{0, 0},
+		{4095, 0},
+		{4096, 1},
+		{8191, 1},
+	}
+	for _, c := range cases {
+		if got := PageOf(c.addr); got != c.page {
+			t.Errorf("PageOf(%d) = %d, want %d", c.addr, got, c.page)
+		}
+	}
+}
+
+// Property: the two paths to a page — via the byte address or via the
+// cacheline — must agree for every address.
+func TestPageOfLineConsistent(t *testing.T) {
+	f := func(a Addr) bool {
+		return PageOfLine(LineOf(a)) == PageOf(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Base is a left inverse of LineOf/PageOf on aligned addresses.
+func TestBaseRoundTrip(t *testing.T) {
+	f := func(a Addr) bool {
+		l := LineOf(a)
+		p := PageOf(a)
+		return LineOf(l.Base()) == l && PageOf(p.Base()) == p &&
+			l.Base() <= a && p.Base() <= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessHelpers(t *testing.T) {
+	a := Access{PC: 0x400000, Addr: 4096 + 65, Write: true}
+	if a.Line() != 65 {
+		t.Errorf("Line() = %d, want 65", a.Line())
+	}
+	if a.Page() != 1 {
+		t.Errorf("Page() = %d, want 1", a.Page())
+	}
+}

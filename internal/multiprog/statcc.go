@@ -1,0 +1,110 @@
+// Package multiprog implements a StatCC-style shared-cache contention
+// model (Eklov, Black-Schaffer & Hagersten, PACT 2010), the paper's §4.2
+// generality argument: sparse reuse profiles collected *separately* per
+// application predict how co-running applications interact in a shared
+// cache. Each application's reuse distances are dilated by the co-runners'
+// access rates, the dilated distribution feeds StatStack for a shared-LLC
+// miss ratio, the miss ratio feeds a CPI estimate, and the CPI feeds back
+// into the access rates — iterated to a fixed point, which StatCC reaches
+// in a few iterations.
+package multiprog
+
+import (
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/statstack"
+)
+
+// App is one co-running application described by its solo profile.
+type App struct {
+	Name string
+	// Hist is the solo reuse-distance distribution (distances counted in
+	// the app's own memory accesses).
+	Hist *stats.RDHist
+	// AccessesPerInstr is the app's memory intensity.
+	AccessesPerInstr float64
+	// BaseCPI is the CPI with a perfect shared LLC.
+	BaseCPI float64
+	// MissPenalty is the additional cycles per shared-LLC miss.
+	MissPenalty float64
+}
+
+// AppResult is the converged prediction for one application.
+type AppResult struct {
+	Name      string
+	CPI       float64
+	MissRatio float64
+	// Dilation is the final reuse-distance scaling factor (total access
+	// rate over own access rate); 1 means the app ran alone.
+	Dilation float64
+}
+
+// Solve iterates the StatCC fixed point for the given apps sharing an LLC
+// of llcLines cachelines. It returns one result per app.
+func Solve(apps []App, llcLines uint64, maxIters int) []AppResult {
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+	cpi := make([]float64, len(apps))
+	miss := make([]float64, len(apps))
+	dil := make([]float64, len(apps))
+	for i, a := range apps {
+		cpi[i] = a.BaseCPI
+		dil[i] = 1
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		// Access rates in accesses per cycle.
+		var totalRate float64
+		rates := make([]float64, len(apps))
+		for i, a := range apps {
+			if cpi[i] <= 0 {
+				cpi[i] = a.BaseCPI
+			}
+			rates[i] = a.AccessesPerInstr / cpi[i]
+			totalRate += rates[i]
+		}
+		maxDelta := 0.0
+		for i, a := range apps {
+			f := totalRate / rates[i]
+			dil[i] = f
+			dilated := ScaleHist(a.Hist, f)
+			m := statstack.New(dilated)
+			miss[i] = m.MissRatio(dilated, llcLines)
+			next := a.BaseCPI + miss[i]*a.AccessesPerInstr*a.MissPenalty
+			if d := math.Abs(next - cpi[i]); d > maxDelta {
+				maxDelta = d
+			}
+			cpi[i] = next
+		}
+		if maxDelta < 1e-9 {
+			break
+		}
+	}
+	out := make([]AppResult, len(apps))
+	for i, a := range apps {
+		out[i] = AppResult{Name: a.Name, CPI: cpi[i], MissRatio: miss[i], Dilation: dil[i]}
+	}
+	return out
+}
+
+// ScaleHist dilates every reuse distance by factor f (bucket midpoints),
+// preserving weights and cold mass.
+func ScaleHist(h *stats.RDHist, f float64) *stats.RDHist {
+	out := &stats.RDHist{}
+	h.Buckets(func(lo, hi uint64, w float64) {
+		mid := (float64(lo) + float64(hi-1)) / 2
+		d := uint64(mid * f)
+		if d == 0 {
+			d = 1
+		}
+		out.AddWeighted(d, w)
+	})
+	switch cold := h.ColdFraction(); {
+	case cold >= 1:
+		out.AddCold(h.Weight())
+	case cold > 0:
+		out.AddCold(cold / (1 - cold) * out.Weight())
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package multiprog
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func histWithMean(mean uint64, n int) *stats.RDHist {
+	h := &stats.RDHist{}
+	r := stats.NewRNG(uint64(mean))
+	for i := 0; i < n; i++ {
+		h.Add(1 + r.Uint64n(2*mean))
+	}
+	return h
+}
+
+func TestScaleHist(t *testing.T) {
+	h := &stats.RDHist{}
+	for i := 0; i < 1000; i++ {
+		h.Add(100)
+	}
+	s := ScaleHist(h, 4)
+	if m := s.Mean(); m < 300 || m > 500 {
+		t.Errorf("scaled mean = %f, want ~400", m)
+	}
+	if math.Abs(s.Weight()-h.Weight()) > 1e-6 {
+		t.Errorf("weight changed: %f -> %f", h.Weight(), s.Weight())
+	}
+}
+
+func TestScaleHistColdPreserved(t *testing.T) {
+	h := &stats.RDHist{}
+	h.Add(10)
+	h.AddCold(1)
+	s := ScaleHist(h, 2)
+	if math.Abs(s.ColdFraction()-0.5) > 1e-6 {
+		t.Errorf("cold fraction = %f, want 0.5", s.ColdFraction())
+	}
+}
+
+func TestSoloAppUnaffected(t *testing.T) {
+	app := App{Name: "solo", Hist: histWithMean(1000, 20000),
+		AccessesPerInstr: 0.3, BaseCPI: 1.0, MissPenalty: 200}
+	res := Solve([]App{app}, 4096, 50)
+	if len(res) != 1 {
+		t.Fatal("result count")
+	}
+	if res[0].Dilation != 1 {
+		t.Errorf("solo dilation = %f, want 1", res[0].Dilation)
+	}
+}
+
+func TestContentionHurts(t *testing.T) {
+	// Two identical apps sharing a cache must each see at least the solo
+	// miss ratio and CPI.
+	mk := func(name string) App {
+		return App{Name: name, Hist: histWithMean(2000, 20000),
+			AccessesPerInstr: 0.35, BaseCPI: 0.8, MissPenalty: 200}
+	}
+	solo := Solve([]App{mk("a")}, 4096, 50)[0]
+	pair := Solve([]App{mk("a"), mk("b")}, 4096, 50)
+	for _, r := range pair {
+		if r.MissRatio < solo.MissRatio-1e-9 {
+			t.Errorf("%s: shared miss ratio %f below solo %f", r.Name, r.MissRatio, solo.MissRatio)
+		}
+		if r.CPI < solo.CPI-1e-9 {
+			t.Errorf("%s: shared CPI %f below solo %f", r.Name, r.CPI, solo.CPI)
+		}
+		if r.Dilation < 1.9 || r.Dilation > 2.1 {
+			t.Errorf("%s: symmetric pair dilation = %f, want ~2", r.Name, r.Dilation)
+		}
+	}
+	// Symmetric inputs -> symmetric outputs.
+	if math.Abs(pair[0].CPI-pair[1].CPI) > 1e-9 {
+		t.Errorf("asymmetric CPIs for identical apps: %f vs %f", pair[0].CPI, pair[1].CPI)
+	}
+}
+
+func TestAggressorVictim(t *testing.T) {
+	// A memory-intensive aggressor should dilate a light victim's reuses
+	// more than vice versa. Penalties are kept small so CPI feedback does
+	// not invert the access rates (an aggressor that thrashes itself to a
+	// crawl stops being an aggressor — real StatCC behaviour, but not what
+	// this test probes).
+	aggressor := App{Name: "agg", Hist: histWithMean(1000, 20000),
+		AccessesPerInstr: 0.45, BaseCPI: 0.7, MissPenalty: 10}
+	victim := App{Name: "vic", Hist: histWithMean(500, 20000),
+		AccessesPerInstr: 0.1, BaseCPI: 0.6, MissPenalty: 10}
+	res := Solve([]App{aggressor, victim}, 8192, 50)
+	if res[1].Dilation <= res[0].Dilation {
+		t.Errorf("victim dilation %f should exceed aggressor's %f",
+			res[1].Dilation, res[0].Dilation)
+	}
+}
+
+func TestBiggerSharedCacheHelps(t *testing.T) {
+	mk := func(name string) App {
+		return App{Name: name, Hist: histWithMean(2000, 20000),
+			AccessesPerInstr: 0.35, BaseCPI: 0.8, MissPenalty: 200}
+	}
+	small := Solve([]App{mk("a"), mk("b")}, 1024, 50)
+	big := Solve([]App{mk("a"), mk("b")}, 16384, 50)
+	if big[0].CPI > small[0].CPI {
+		t.Errorf("bigger cache should not hurt: %f vs %f", big[0].CPI, small[0].CPI)
+	}
+}
+
+func TestConvergence(t *testing.T) {
+	// More iterations must not change the converged answer.
+	mk := func(name string) App {
+		return App{Name: name, Hist: histWithMean(1500, 20000),
+			AccessesPerInstr: 0.3, BaseCPI: 1.0, MissPenalty: 150}
+	}
+	a := Solve([]App{mk("a"), mk("b")}, 4096, 20)
+	b := Solve([]App{mk("a"), mk("b")}, 4096, 200)
+	if math.Abs(a[0].CPI-b[0].CPI) > 1e-6 {
+		t.Errorf("not converged: %f vs %f", a[0].CPI, b[0].CPI)
+	}
+}

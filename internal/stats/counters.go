@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counters is a named event ledger. Every pass of the time-traveling
+// pipeline and every warming strategy reports its event counts (executed
+// instructions per mode, watchpoint triggers, collected reuse distances,
+// ...) through one of these, and the reporting layer aggregates them.
+type Counters struct {
+	m map[string]float64
+}
+
+// NewCounters returns an empty ledger.
+func NewCounters() *Counters { return &Counters{m: make(map[string]float64)} }
+
+// Add increments counter name by v.
+func (c *Counters) Add(name string, v float64) {
+	if c.m == nil {
+		c.m = make(map[string]float64)
+	}
+	c.m[name] += v
+}
+
+// Inc increments counter name by 1.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the value of counter name (0 if absent).
+func (c *Counters) Get(name string) float64 { return c.m[name] }
+
+// Clone returns an independent copy of the ledger.
+func (c *Counters) Clone() *Counters {
+	out := NewCounters()
+	for k, v := range c.m {
+		out.m[k] = v
+	}
+	return out
+}
+
+// Merge adds all counters of o into c.
+func (c *Counters) Merge(o *Counters) {
+	if o == nil {
+		return
+	}
+	for k, v := range o.m {
+		c.Add(k, v)
+	}
+}
+
+// Scale multiplies every counter whose name has the given prefix by f.
+// The sampling layer uses this to extrapolate window-proportional event
+// counts from the scaled run to paper scale (DESIGN.md §5).
+func (c *Counters) Scale(prefix string, f float64) {
+	for k := range c.m {
+		if strings.HasPrefix(k, prefix) {
+			c.m[k] *= f
+		}
+	}
+}
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the ledger one counter per line.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, k := range c.Names() {
+		fmt.Fprintf(&b, "%-40s %14.0f\n", k, c.m[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package statstack
+
+import (
+	"repro/internal/mem"
+)
+
+// AssocModel is CoolSim's limited-associativity model. Some load PCs have
+// dominant large strides that touch only a fraction of the cache sets
+// (e.g. a 512 B stride touches one eighth of the sets with 64 B lines), so
+// the cache behaves as if it were proportionally smaller; lukewarm misses
+// whose stack distance fits the full cache but not the effective cache are
+// conflict misses.
+//
+// The model estimates set coverage from the sampled addresses (key lines
+// plus vicinity samples). Coverage estimates need enough samples relative
+// to the set count to be meaningful, so the factor saturates at 1 when the
+// sample is too sparse.
+type AssocModel struct {
+	lines map[mem.Line]struct{}
+}
+
+// NewAssocModel returns an empty model.
+func NewAssocModel() *AssocModel {
+	return &AssocModel{lines: make(map[mem.Line]struct{})}
+}
+
+// AddLine records one sampled cacheline address.
+func (m *AssocModel) AddLine(l mem.Line) { m.lines[l] = struct{}{} }
+
+// Samples returns the number of distinct lines recorded.
+func (m *AssocModel) Samples() int { return len(m.lines) }
+
+// EffectiveFactor estimates the fraction of the cache's sets the workload
+// actually uses, in (0, 1]. With n distinct sampled lines mapping to k
+// distinct sets out of `sets`, uniform usage would give an expected
+// coverage of 1-(1-1/sets)^n; usage significantly below that indicates a
+// dominant stride. The returned factor is k divided by that expectation,
+// clamped to (0, 1].
+func (m *AssocModel) EffectiveFactor(sets uint64) float64 {
+	n := len(m.lines)
+	if sets == 0 || n == 0 {
+		return 1
+	}
+	// Too few samples to judge coverage of this many sets.
+	if float64(n) < float64(sets) {
+		return 1
+	}
+	used := make(map[uint64]struct{}, sets)
+	for l := range m.lines {
+		used[uint64(l)%sets] = struct{}{}
+	}
+	expected := float64(sets) * (1 - pow1m(1/float64(sets), n))
+	factor := float64(len(used)) / expected
+	if factor > 1 {
+		factor = 1
+	}
+	if factor <= 0 {
+		factor = 1e-3
+	}
+	return factor
+}
+
+// EffectiveLines scales the cache capacity by the set-usage factor.
+func (m *AssocModel) EffectiveLines(totalLines, sets uint64) uint64 {
+	f := m.EffectiveFactor(sets)
+	eff := uint64(float64(totalLines) * f)
+	if eff == 0 {
+		eff = 1
+	}
+	return eff
+}
+
+// pow1m computes (1-p)^n stably.
+func pow1m(p float64, n int) float64 {
+	r := 1.0
+	base := 1 - p
+	for n > 0 {
+		if n&1 == 1 {
+			r *= base
+		}
+		base *= base
+		n >>= 1
+	}
+	return r
+}

@@ -1,0 +1,47 @@
+package statstack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// Property: StatCache's fixed point is bounded by [cold fraction, 1] and
+// converges for arbitrary distributions.
+func TestStatCacheBounds(t *testing.T) {
+	f := func(seed uint64, sizeExp uint8) bool {
+		r := stats.NewRNG(seed)
+		h := &stats.RDHist{}
+		for i := 0; i < 2000; i++ {
+			h.Add(1 + r.Uint64n(1<<20))
+		}
+		cold := r.Uint64n(500)
+		h.AddCold(float64(cold))
+		lines := uint64(1) << (4 + sizeExp%16)
+		m := StatCacheMissRatio(h, lines)
+		return m >= h.ColdFraction()-1e-9 && m <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Random replacement on a tiny cyclic working set: LRU would thrash a
+// cache one line too small (miss ratio ~1) while random replacement keeps
+// a fraction resident — the classic LRU-pathology StatCache captures.
+func TestStatCacheBeatsLRUOnThrash(t *testing.T) {
+	h := &stats.RDHist{}
+	for i := 0; i < 5000; i++ {
+		h.Add(1100) // cyclic sweep slightly larger than the cache
+	}
+	const lines = 1024
+	lru := New(h).MissRatio(h, lines)
+	rnd := StatCacheMissRatio(h, lines)
+	if lru < 0.9 {
+		t.Fatalf("LRU should thrash: miss ratio %f", lru)
+	}
+	if rnd >= lru {
+		t.Errorf("random replacement (%f) should beat LRU (%f) on a thrashing sweep", rnd, lru)
+	}
+}

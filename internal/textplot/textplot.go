@@ -1,0 +1,253 @@
+// Package textplot renders the reproduction's tables and figures as plain
+// text: aligned tables, horizontal bar charts (for the per-benchmark
+// figures) and simple line plots (for working-set and CPI-vs-size curves).
+// The output is what cmd/figures writes into EXPERIMENTS.md.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned-column table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are kept as-is.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row of formatted cells, one per (format, value) pair
+// applied positionally: AddRowf("%s", name, "%.2f", v).
+func (t *Table) AddRowf(pairs ...interface{}) {
+	if len(pairs)%2 != 0 {
+		panic("textplot: AddRowf needs format/value pairs")
+	}
+	row := make([]string, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		row = append(row, fmt.Sprintf(pairs[i].(string), pairs[i+1]))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(width) {
+				fmt.Fprintf(&b, "%-*s", width[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// BarChart renders labeled horizontal bars scaled to maxWidth characters.
+// Values may be on a log scale (useful for the speedup and reuse-count
+// figures, which the paper also plots logarithmically).
+type BarChart struct {
+	Title    string
+	MaxWidth int
+	Log      bool
+	labels   []string
+	values   []float64
+}
+
+// NewBarChart returns an empty chart.
+func NewBarChart(title string, log bool) *BarChart {
+	return &BarChart{Title: title, MaxWidth: 50, Log: log}
+}
+
+// Add appends one labeled bar.
+func (c *BarChart) Add(label string, v float64) {
+	c.labels = append(c.labels, label)
+	c.values = append(c.values, v)
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	labelW := 0
+	maxV := 0.0
+	for i, l := range c.labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+		v := c.scale(c.values[i])
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	for i, l := range c.labels {
+		n := int(c.scale(c.values[i]) / maxV * float64(c.MaxWidth))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.3g\n", labelW, l, strings.Repeat("#", n), c.values[i])
+	}
+	return b.String()
+}
+
+func (c *BarChart) scale(v float64) float64 {
+	if !c.Log {
+		return v
+	}
+	if v <= 0 {
+		return 0
+	}
+	return math.Log10(1 + v)
+}
+
+// LinePlot renders one or more (x, y) series on a shared character grid.
+// X values are plotted on a log2 axis when LogX is set, matching the
+// paper's cache-size axes (1, 2, 4, ... 512 MB).
+type LinePlot struct {
+	Title        string
+	XLabel       string
+	YLabel       string
+	Width        int
+	Height       int
+	LogX         bool
+	seriesNames  []string
+	seriesPoints [][][2]float64
+}
+
+// NewLinePlot returns an empty plot with a default 60x16 grid.
+func NewLinePlot(title, xlabel, ylabel string, logX bool) *LinePlot {
+	return &LinePlot{Title: title, XLabel: xlabel, YLabel: ylabel,
+		Width: 60, Height: 16, LogX: logX}
+}
+
+// AddSeries appends a named series of (x, y) points.
+func (p *LinePlot) AddSeries(name string, xs, ys []float64) {
+	pts := make([][2]float64, 0, len(xs))
+	for i := range xs {
+		if i < len(ys) {
+			pts = append(pts, [2]float64{xs[i], ys[i]})
+		}
+	}
+	p.seriesNames = append(p.seriesNames, name)
+	p.seriesPoints = append(p.seriesPoints, pts)
+}
+
+var seriesMarks = []byte{'*', '+', 'o', 'x', '@', '%'}
+
+// String renders the plot.
+func (p *LinePlot) String() string {
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	for _, pts := range p.seriesPoints {
+		for _, pt := range pts {
+			x := p.xval(pt[0])
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if pt[1] > maxY {
+				maxY = pt[1]
+			}
+		}
+	}
+	if math.IsInf(minX, 1) || maxX == minX {
+		minX, maxX = 0, 1
+	}
+	if math.IsInf(maxY, -1) || maxY == 0 {
+		maxY = 1
+	}
+	grid := make([][]byte, p.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", p.Width))
+	}
+	for si, pts := range p.seriesPoints {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for _, pt := range pts {
+			cx := int((p.xval(pt[0]) - minX) / (maxX - minX) * float64(p.Width-1))
+			cy := int((pt[1] - minY) / (maxY - minY) * float64(p.Height-1))
+			if cx < 0 || cx >= p.Width || cy < 0 || cy >= p.Height {
+				continue
+			}
+			row := p.Height - 1 - cy
+			if grid[row][cx] == ' ' || grid[row][cx] == mark {
+				grid[row][cx] = mark
+			} else {
+				grid[row][cx] = '&' // overlapping series
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%s (max %.3g)\n", p.YLabel, maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "+%s\n", strings.Repeat("-", p.Width))
+	fmt.Fprintf(&b, " %s: %.3g .. %.3g%s\n", p.XLabel, p.rawX(minX), p.rawX(maxX),
+		map[bool]string{true: " (log2 axis)", false: ""}[p.LogX])
+	for si, name := range p.seriesNames {
+		fmt.Fprintf(&b, "  %c = %s\n", seriesMarks[si%len(seriesMarks)], name)
+	}
+	return b.String()
+}
+
+func (p *LinePlot) xval(x float64) float64 {
+	if p.LogX && x > 0 {
+		return math.Log2(x)
+	}
+	return x
+}
+
+func (p *LinePlot) rawX(x float64) float64 {
+	if p.LogX {
+		return math.Exp2(x)
+	}
+	return x
+}

@@ -1,0 +1,85 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRowf("%s", "long-name", "%.2f", 3.14159)
+	s := tb.String()
+	if !strings.Contains(s, "Title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "long-name") || !strings.Contains(s, "3.14") {
+		t.Errorf("missing formatted row in:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), s)
+	}
+}
+
+func TestTableAddRowfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on odd pair count")
+		}
+	}()
+	NewTable("t", "a").AddRowf("%s")
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("speeds", true)
+	c.Add("slow", 1)
+	c.Add("fast", 100)
+	s := c.String()
+	if !strings.Contains(s, "slow") || !strings.Contains(s, "fast") {
+		t.Fatalf("labels missing:\n%s", s)
+	}
+	slowBars := strings.Count(lineOf(s, "slow"), "#")
+	fastBars := strings.Count(lineOf(s, "fast"), "#")
+	if fastBars <= slowBars {
+		t.Errorf("fast (%d bars) should exceed slow (%d bars)", fastBars, slowBars)
+	}
+}
+
+func TestBarChartZeroAndNegative(t *testing.T) {
+	c := NewBarChart("edge", false)
+	c.Add("zero", 0)
+	c.Add("neg", -5)
+	if s := c.String(); !strings.Contains(s, "zero") {
+		t.Errorf("zero row missing:\n%s", s)
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	p := NewLinePlot("curve", "size", "mpki", true)
+	p.AddSeries("ref", []float64{1, 2, 4, 8}, []float64{10, 8, 2, 1})
+	p.AddSeries("model", []float64{1, 2, 4, 8}, []float64{9, 8, 3, 1})
+	s := p.String()
+	if !strings.Contains(s, "ref") || !strings.Contains(s, "model") {
+		t.Fatalf("legend missing:\n%s", s)
+	}
+	if !strings.Contains(s, "*") || !strings.Contains(s, "+") {
+		t.Errorf("series marks missing:\n%s", s)
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	p := NewLinePlot("empty", "x", "y", false)
+	if s := p.String(); s == "" {
+		t.Error("empty plot should still render axes")
+	}
+}
+
+func lineOf(s, substr string) string {
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			return l
+		}
+	}
+	return ""
+}

@@ -1,0 +1,103 @@
+package warm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/reuse"
+	"repro/internal/stats"
+)
+
+// Property: the DSW oracle is a pure function of (line, level) given fixed
+// lukewarm state — repeated queries agree, and diagnostics are consistent
+// with the decisions made.
+func TestDSWOracleDeterministic(t *testing.T) {
+	cfg := testCfg()
+	f := func(seed uint64) bool {
+		hier := cache.NewHierarchy(cfg.HierConfig(), nil)
+		r := stats.NewRNG(seed)
+		vic := &stats.RDHist{}
+		for i := 0; i < 500; i++ {
+			vic.Add(1 + r.Uint64n(1<<16))
+		}
+		vic.AddCold(20)
+		var recs []reuse.KeyRecord
+		for i := 0; i < 50; i++ {
+			recs = append(recs, reuse.KeyRecord{
+				Line: mem.Line(r.Uint64n(1 << 20)), Dist: 1 + r.Uint64n(1<<20),
+				Found: r.Bool(0.8), Explorer: 1 + int(r.Uint64n(4)),
+			})
+		}
+		o := NewDSWOracle(recs, vic, nil, hier)
+		for _, rec := range recs {
+			a := &mem.Access{Addr: rec.Line.Base()}
+			first := o.OverrideMiss(a, cache.LevelLLC)
+			if o.OverrideMiss(a, cache.LevelLLC) != first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a found key with a shorter reuse is never "more of a miss"
+// than one with a longer reuse (monotone classification).
+func TestDSWOracleMonotoneInDistance(t *testing.T) {
+	cfg := testCfg()
+	hier := cache.NewHierarchy(cfg.HierConfig(), nil)
+	vic := &stats.RDHist{}
+	r := stats.NewRNG(13)
+	for i := 0; i < 2000; i++ {
+		vic.Add(1 + r.Uint64n(1<<18))
+	}
+	vic.AddCold(200)
+	var recs []reuse.KeyRecord
+	for i := 0; i < 40; i++ {
+		recs = append(recs, reuse.KeyRecord{
+			Line: mem.Line(1000 + i), Dist: uint64(1) << uint(i%30), Found: true, Explorer: 1})
+	}
+	o := NewDSWOracle(recs, vic, nil, hier)
+	sawMiss := false
+	// Query in increasing-distance order: once a distance misses, all
+	// longer distances must miss too.
+	for shift := 0; shift < 30; shift++ {
+		for _, rec := range recs {
+			if rec.Dist != uint64(1)<<uint(shift) {
+				continue
+			}
+			hit := o.OverrideMiss(&mem.Access{Addr: rec.Line.Base()}, cache.LevelLLC)
+			if hit && sawMiss {
+				t.Fatalf("distance 2^%d classified hit after a shorter distance missed", shift)
+			}
+			if !hit {
+				sawMiss = true
+			}
+		}
+	}
+	if !sawMiss {
+		t.Skip("all distances fit this cache; nothing to check")
+	}
+}
+
+// The RSW oracle must never override during detailed warming (EvalRegion
+// disarms it) — covered in warm_test — and must be robust to an empty
+// profile: everything classified as a miss, never a panic.
+func TestRSWOracleEmptyProfile(t *testing.T) {
+	cfg := testCfg()
+	hier := cache.NewHierarchy(cfg.HierConfig(), nil)
+	s := reuse.NewForwardSampler(1, true)
+	o := NewRSWOracle(s, hier, 3)
+	for i := 0; i < 100; i++ {
+		if o.OverrideMiss(&mem.Access{PC: uint64(i), Addr: mem.Addr(i * 4096), MemIdx: uint64(i)}, cache.LevelLLC) {
+			t.Fatal("empty profile must classify conservatively (miss)")
+		}
+	}
+	if o.ColdDraws == 0 {
+		t.Error("empty profile should count cold draws")
+	}
+}

@@ -1,0 +1,208 @@
+package warm
+
+import (
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/reuse"
+	"repro/internal/stats"
+	"repro/internal/statstack"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// RunCoolSim evaluates one benchmark with randomized statistical warming,
+// the CoolSim methodology [23]: the warm-up interval before each region
+// runs under virtualized directed profiling with CoolSim's adaptive
+// sampling schedule, collecting *per load PC* forward reuse distances at
+// random memory locations; the detailed region then runs on a lukewarm
+// hierarchy with an RSW oracle predicting, per access, whether a perfectly
+// warm cache would have hit.
+func RunCoolSim(prof *workload.Profile, cfg Config) *Result {
+	prog := prof.NewProgram(cfg.Scale)
+	eng := vm.NewEngine(prog)
+	res := &Result{Bench: prof.Name, Method: "CoolSim", Counters: eng.Counters}
+
+	for m := 0; m < cfg.Regions; m++ {
+		warmStart := cfg.RegionStart(m) - cfg.DetailWarm
+		span := warmStart - prog.InstrIndex()
+
+		sampler := reuse.NewForwardSampler(1, true)
+		wps := vm.NewWatchpoints()
+		assoc := statstack.NewAssocModel()
+		vdp := &vm.VDPConfig{
+			WPs: wps,
+			OnSample: func(a *mem.Access) {
+				if sampler.Start(a) {
+					wps.Watch(a.Line())
+					assoc.AddLine(a.Line())
+				}
+			},
+			OnTrigger: func(a *mem.Access) {
+				if sampler.Complete(a) {
+					wps.Unwatch(a.Line())
+				}
+			},
+		}
+		// Adaptive schedule: segment lengths are fractions of the warm-up
+		// span; sample weights are the inverse sampling rates so sparse
+		// segments still represent the full population.
+		eng.Prop = true
+		pos := uint64(0)
+		for i, seg := range cfg.RSWSchedule {
+			segLen := uint64(seg.Frac * float64(span))
+			if i == len(cfg.RSWSchedule)-1 {
+				segLen = span - pos
+			}
+			sampler.Weight = float64(seg.Interval)
+			vdp.SampleEvery = seg.Interval
+			eng.RunVDP(segLen, vdp)
+			pos += segLen
+		}
+		// Unresolved watchpoints at the region boundary are censored: their
+		// reuses are at least as long as the remaining distance, which the
+		// model conservatively treats as beyond every cache size.
+		sampler.AbandonPending(true)
+		wps.Clear()
+
+		res.Counters.Add("win/reuse_rsw", float64(sampler.Completed+uint64(len(sampler.PendingLines()))))
+		res.Counters.Add("win/reuse_rsw_completed", float64(sampler.Completed))
+
+		// Fresh lukewarm state per region (under RSW nothing warms the
+		// caches between regions), then the classified detailed run.
+		hier := cache.NewHierarchy(cfg.HierConfig(), nil)
+		core := cpu.NewCore(cfg.CPU, hier, nil)
+		oracle := NewRSWOracle(sampler, hier, cfg.Seed+uint64(m))
+		oracle.SetAssoc(assoc)
+		res.Regions = append(res.Regions, EvalRegion(cfg, eng, core, oracle))
+	}
+	return res
+}
+
+// RSWOracle is CoolSim's statistical classifier: for an access that misses
+// the lukewarm cache it draws a reuse distance from the access PC's sampled
+// distribution (falling back to the global distribution for unsampled PCs
+// — the coverage problem §2.3 describes), converts it to a stack distance
+// with StatStack, and rules hit or miss against the effective cache size
+// from the limited-associativity model.
+type RSWOracle struct {
+	global  *statstack.Model
+	globalH *stats.RDHist
+	perPCH  map[uint64]*stats.RDHist
+	assoc   *statstack.AssocModel
+	hier    *cache.Hierarchy
+	rng     *stats.RNG
+
+	// Effective capacities after the limited-associativity correction.
+	l1Lines, llcLines uint64
+
+	// Per-access memo: the drawn reuse distance must be shared between the
+	// L1-level and LLC-level decisions for the same access.
+	memoIdx  uint64
+	memoDist uint64
+	memoCold bool
+	memoOK   bool
+
+	// Diagnostics.
+	ConflictMisses uint64
+	ColdDraws      uint64
+	CapacityMisses uint64
+	Hits           uint64
+}
+
+// NewRSWOracle builds the classifier from one region's sampled profile.
+func NewRSWOracle(s *reuse.ForwardSampler, hier *cache.Hierarchy, seed uint64) *RSWOracle {
+	o := &RSWOracle{
+		global:  statstack.New(s.Hist),
+		globalH: s.Hist,
+		perPCH:  s.PerPC,
+		rng:     stats.NewRNG(seed),
+		hier:    hier,
+	}
+	o.l1Lines = hier.Cfg.L1D.Lines()
+	o.llcLines = hier.Cfg.LLC.Lines()
+	return o
+}
+
+// SetAssoc applies the limited-associativity model to the LLC capacity.
+func (o *RSWOracle) SetAssoc(a *statstack.AssocModel) {
+	o.assoc = a
+	if a != nil {
+		o.llcLines = a.EffectiveLines(o.hier.Cfg.LLC.Lines(), o.hier.Cfg.LLC.Sets())
+	}
+}
+
+// histFor returns the access PC's sampled reuse histogram, falling back to
+// the global one when the PC has too few samples — the coverage problem
+// that makes RSW need so many samples in the first place (§2.3).
+func (o *RSWOracle) histFor(pc uint64) *stats.RDHist {
+	h, ok := o.perPCH[pc]
+	if !ok || h.Samples() < 3 {
+		return o.globalH
+	}
+	return h
+}
+
+// draw samples a reuse distance for the access, memoized per access so the
+// L1 and LLC decisions agree.
+func (o *RSWOracle) draw(a *mem.Access) (dist uint64, cold bool) {
+	if o.memoOK && o.memoIdx == a.MemIdx {
+		return o.memoDist, o.memoCold
+	}
+	h := o.histFor(a.PC)
+	o.memoIdx, o.memoOK = a.MemIdx, true
+	if h.Weight() == 0 {
+		o.memoDist, o.memoCold = 0, true
+		return o.memoDist, o.memoCold
+	}
+	if o.rng.Float64() < h.ColdFraction() {
+		o.memoDist, o.memoCold = 0, true
+		return o.memoDist, o.memoCold
+	}
+	q := o.rng.Float64()
+	o.memoDist, o.memoCold = h.Quantile(q), false
+	return o.memoDist, o.memoCold
+}
+
+// EffLLCLines exposes the post-assoc-model effective LLC capacity.
+func (o *RSWOracle) EffLLCLines() uint64 { return o.llcLines }
+
+// OverrideMiss implements cache.Oracle.
+func (o *RSWOracle) OverrideMiss(a *mem.Access, lv cache.Level) bool {
+	// A full lukewarm set is a certain conflict miss (Fig. 3).
+	switch lv {
+	case cache.LevelL1:
+		if o.hier.L1D.SetFull(a.Line()) {
+			o.ConflictMisses++
+			return false
+		}
+	case cache.LevelLLC:
+		if o.hier.LLC.SetFull(a.Line()) {
+			o.ConflictMisses++
+			return false
+		}
+	}
+	dist, cold := o.draw(a)
+	if cold {
+		o.ColdDraws++
+		return false
+	}
+	// The reuse distance is drawn from the access PC's distribution, but
+	// the reuse-to-stack conversion must use the *global* distribution:
+	// the intervening accesses whose forward reuses determine uniqueness
+	// come from every PC, not just this one (Eklov & Hagersten).
+	sd := o.global.StackDist(dist)
+	var hit bool
+	switch lv {
+	case cache.LevelL1:
+		hit = sd <= float64(o.l1Lines)
+	case cache.LevelLLC:
+		hit = sd <= float64(o.llcLines)
+	}
+	if hit {
+		o.Hits++
+	} else {
+		o.CapacityMisses++
+	}
+	return hit
+}

@@ -1,0 +1,43 @@
+package warm
+
+import (
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// RunSMARTS evaluates one benchmark with functional warming, the SMARTS
+// methodology [34]: between detailed regions, every instruction runs
+// through functional simulation that keeps the caches and the branch
+// predictor warm; each region then gets detailed warming plus detailed
+// simulation on the *continuously warm* state. It is the accuracy
+// reference for Figures 9, 10, 13 and 14, and the speed baseline of
+// Figure 5.
+func RunSMARTS(prof *workload.Profile, cfg Config) *Result {
+	prog := prof.NewProgram(cfg.Scale)
+	eng := vm.NewEngine(prog)
+	hier := cache.NewHierarchy(cfg.HierConfig(), nil)
+	bp := cpu.NewBranchPred(cfg.CPU.BP)
+	core := cpu.NewCore(cfg.CPU, hier, bp)
+
+	res := &Result{Bench: prof.Name, Method: "SMARTS", Counters: eng.Counters}
+	for m := 0; m < cfg.Regions; m++ {
+		warmStart := cfg.RegionStart(m) - cfg.DetailWarm
+		// Functional warming across the whole gap: cache tags, replacement
+		// state and predictor all stay warm. Cost scales with the gap.
+		eng.Prop = true
+		n := warmStart - prog.InstrIndex()
+		eng.RunFunc(n, true, func(ins *workload.Instr, a *mem.Access) {
+			hier.WarmInstr(ins.FetchLine)
+			if a != nil {
+				hier.WarmData(a.Line())
+			} else if ins.Kind == workload.KindBranch {
+				bp.PredictAndUpdate(ins.PC, ins.Taken)
+			}
+		})
+		res.Regions = append(res.Regions, EvalRegion(cfg, eng, core, nil))
+	}
+	return res
+}

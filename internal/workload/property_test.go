@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+// Property: for arbitrary (positive) stream weights and ratios, the
+// generator stays well-formed — kind ratios realized, addresses inside
+// arenas, weights normalized internally.
+func TestGeneratorWellFormedUnderRandomProfiles(t *testing.T) {
+	f := func(w1, w2 uint8, memR, brR uint8, seed uint64) bool {
+		weight1 := 0.1 + float64(w1%100)/100
+		weight2 := 0.1 + float64(w2%100)/100
+		memRatio := 0.1 + float64(memR%60)/100
+		brRatio := 0.05 + float64(brR%20)/100
+		p := &Profile{
+			Name: "prop", MemRatio: memRatio, BranchRatio: brRatio,
+			LoopDuty: 8, ILP: 4, CodeKiB: 8, Seed: seed,
+			Streams: []StreamSpec{
+				{Kind: Rand, Weight: weight1, PaperBytes: 64 * 1024, Burst: 3},
+				{Kind: Seq, Weight: weight2, PaperBytes: 256 * 1024, Burst: 2},
+			},
+		}
+		pr := p.NewProgram(1)
+		var ins Instr
+		memN, brN := 0, 0
+		const n = 30000
+		for i := 0; i < n; i++ {
+			pr.Next(&ins)
+			switch ins.Kind {
+			case KindLoad, KindStore:
+				memN++
+				line := uint64(mem.LineOf(ins.Addr))
+				in := false
+				for _, st := range pr.streams {
+					if line >= st.baseLine && line < st.baseLine+st.lines*st.spread {
+						in = true
+					}
+				}
+				if !in {
+					return false
+				}
+			case KindBranch:
+				brN++
+			}
+		}
+		return math.Abs(float64(memN)/n-memRatio) < 0.03 &&
+			math.Abs(float64(brN)/n-brRatio) < 0.03
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the burst mechanism bounds unique lines — with Burst b, the
+// number of distinct lines a Rand stream touches in n accesses is close to
+// n/b (far below n) while every line still lies in the arena.
+func TestBurstBoundsUniqueLines(t *testing.T) {
+	for _, burst := range []int{1, 2, 4, 8} {
+		p := &Profile{
+			Name: "burst", MemRatio: 1.0, LoopDuty: 4, ILP: 4, Seed: 7,
+			Streams: []StreamSpec{
+				{Kind: Rand, Weight: 1, PaperBytes: 64 * 1024 * 1024, Burst: burst},
+			},
+		}
+		pr := p.NewProgram(1)
+		var ins Instr
+		uniq := map[mem.Line]struct{}{}
+		const n = 8000
+		for i := 0; i < n; i++ {
+			pr.Next(&ins)
+			uniq[mem.LineOf(ins.Addr)] = struct{}{}
+		}
+		want := float64(n) / float64(burst)
+		got := float64(len(uniq))
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("burst %d: %d unique lines in %d accesses, want ~%.0f", burst, len(uniq), n, want)
+		}
+	}
+}
+
+// Property: Reset is idempotent and equivalent to a fresh instance even
+// after partial bursts and phase transitions.
+func TestResetMidBurst(t *testing.T) {
+	p := Calculix() // has phases
+	a := p.NewProgram(64)
+	a.Skip(12347) // odd offset: mid burst, mid phase
+	a.Reset()
+	b := p.NewProgram(64)
+	var ia, ib Instr
+	for i := 0; i < 50000; i++ {
+		a.Next(&ia)
+		b.Next(&ib)
+		if ia != ib {
+			t.Fatalf("Reset-after-Skip diverged at %d", i)
+		}
+	}
+}
