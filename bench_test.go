@@ -12,6 +12,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/figures"
 	"repro/internal/multiprog"
+	"repro/internal/runner"
 	"repro/internal/sampling"
 	"repro/internal/stats"
 	"repro/internal/warm"
@@ -201,6 +202,50 @@ func BenchmarkHeadline_MIPS(b *testing.B) {
 		b.ReportMetric(s.SMARTSMIPS, "SMARTS-MIPS")
 		b.ReportMetric(s.DeLoreanMIPS, "DeLorean-MIPS")
 	}
+}
+
+// BenchmarkRunner_Matrix measures the sharded execution engine itself on
+// the same (benchmark × methodology) matrix the sampling layer builds —
+// the entry point every CLI drives — and reports its scheduling overhead
+// indirectly via total matrix time at two worker bounds.
+func BenchmarkRunner_Matrix(b *testing.B) {
+	cfg := benchCfg()
+	profs := benchSuite()
+	for _, workers := range []int{1, 0} { // serial, then GOMAXPROCS
+		name := "serial"
+		if workers == 0 {
+			name = "maxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cmp := sampling.RunAll(profs, cfg, sampling.Options{Parallel: workers, SkipSMARTS: true})
+				b.ReportMetric(sampling.Summarize(cmp).DeLoreanMIPS, "DeLorean-MIPS")
+			}
+		})
+	}
+}
+
+// BenchmarkRunner_CacheHit measures a fully cache-served matrix: the cost
+// of re-requesting every figure's jobs on a warm engine.
+func BenchmarkRunner_CacheHit(b *testing.B) {
+	cfg := benchCfg()
+	profs := benchSuite()
+	eng := runner.New(0)
+	warmup := sampling.Options{Eng: eng, SkipSMARTS: true, SkipCoolSim: true}
+	sampling.RunAll(profs, cfg, warmup)
+	_, missesBefore := eng.CacheStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmp := sampling.RunAll(profs, cfg, warmup)
+		if cmp.Benches[0].DeLorean == nil {
+			b.Fatal("missing cached result")
+		}
+	}
+	hits, misses := eng.CacheStats()
+	if misses != missesBefore {
+		b.Fatalf("warm engine re-ran %d jobs", misses-missesBefore)
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "cache-hits/op")
 }
 
 // BenchmarkExtension_StatCC exercises the §4.2 multi-programming model.

@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/runner"
 	"repro/internal/sampling"
 	"repro/internal/textplot"
 	"repro/internal/warm"
@@ -30,6 +31,7 @@ func main() {
 		scale    = flag.Uint64("scale", 64, "geometric down-scaling factor")
 		prefetch = flag.Bool("prefetch", false, "enable the LLC stride prefetcher")
 		methods  = flag.String("methods", "smarts,coolsim,delorean", "comma-separated methods")
+		workers  = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
 		verbose  = flag.Bool("v", false, "print per-region detail and counters")
 	)
 	flag.Parse()
@@ -71,6 +73,14 @@ func main() {
 		}
 	}
 
+	eng := runner.New(*workers)
+	if *verbose {
+		eng.OnProgress = func(p runner.Progress) {
+			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %s/%s %.1fs\n",
+				p.Done, p.Total, p.Job.Bench, p.Job.Method, p.Elapsed.Seconds())
+		}
+	}
+	opt.Eng = eng
 	cmp := sampling.RunAll(profs, cfg, opt)
 
 	tbl := textplot.NewTable(

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/dse"
 	"repro/internal/figures"
+	"repro/internal/runner"
 	"repro/internal/textplot"
 	"repro/internal/warm"
 	"repro/internal/workload"
@@ -20,6 +21,7 @@ func main() {
 		bench   = flag.String("bench", "cactusADM", "benchmark name")
 		regions = flag.Int("regions", 10, "number of detailed regions")
 		short   = flag.Bool("short", false, "fewer LLC sizes")
+		workers = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -32,7 +34,11 @@ func main() {
 	cfg.Regions = *regions
 	sizes := figures.WSSizes(*short)
 
-	res := dse.Run(prof, cfg, sizes)
+	eng := runner.New(*workers)
+	res := eng.RunMatrix([]runner.Job{{
+		Bench: prof.Name, Method: "dse", Extra: fmt.Sprint(sizes), Cfg: cfg,
+		Exec: func(cfg warm.Config) any { return dse.RunParallel(prof, cfg, sizes, *workers) },
+	}})[0].(*dse.Result)
 	tbl := textplot.NewTable(
 		fmt.Sprintf("DSE: %s, %d LLC configurations from one warm-up", prof.Name, len(sizes)),
 		"LLC (paper MiB)", "CPI", "LLC MPKI")

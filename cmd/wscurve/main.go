@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/dse"
 	"repro/internal/figures"
+	"repro/internal/runner"
 	"repro/internal/textplot"
 	"repro/internal/warm"
 	"repro/internal/workload"
@@ -21,6 +22,7 @@ func main() {
 		regions = flag.Int("regions", 10, "number of detailed regions")
 		short   = flag.Bool("short", false, "fewer LLC sizes")
 		withRef = flag.Bool("ref", false, "also run the SMARTS reference per size (slow)")
+		workers = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -33,7 +35,31 @@ func main() {
 	cfg.Regions = *regions
 	sizes := figures.WSSizes(*short)
 
-	res := dse.Run(prof, cfg, sizes)
+	// One matrix: the shared-warm-up DSE sweep plus (optionally) one
+	// SMARTS reference job per size, sharded on the runner engine. With
+	// -ref the matrix pool is already full of SMARTS jobs, so the DSE
+	// job's inner Analyst fan-out runs serially to avoid oversubscribing
+	// the pool; without it the fan-out gets the whole worker budget.
+	eng := runner.New(*workers)
+	dseWorkers := *workers
+	if *withRef {
+		dseWorkers = 1
+	}
+	jobs := []runner.Job{{
+		Bench: prof.Name, Method: "dse", Extra: fmt.Sprint(sizes), Cfg: cfg,
+		Exec: func(cfg warm.Config) any { return dse.RunParallel(prof, cfg, sizes, dseWorkers) },
+	}}
+	if *withRef {
+		for _, s := range sizes {
+			rcfg := cfg
+			rcfg.LLCPaperBytes = s
+			jobs = append(jobs, runner.Job{Bench: prof.Name, Method: "smarts", Cfg: rcfg,
+				Exec: func(cfg warm.Config) any { return warm.RunSMARTS(prof, cfg) }})
+		}
+	}
+	results := eng.RunMatrix(jobs)
+	res := results[0].(*dse.Result)
+
 	headers := []string{"LLC (paper MiB)", "DeLorean MPKI", "DeLorean CPI"}
 	if *withRef {
 		headers = append(headers, "SMARTS MPKI", "SMARTS CPI")
@@ -47,9 +73,7 @@ func main() {
 			fmt.Sprintf("%.3f", res.PerSize[i].CPI()),
 		}
 		if *withRef {
-			rcfg := cfg
-			rcfg.LLCPaperBytes = s
-			ref := warm.RunSMARTS(prof, rcfg)
+			ref := results[1+i].(*warm.Result)
 			row = append(row, fmt.Sprintf("%.2f", ref.LLCMPKI()), fmt.Sprintf("%.3f", ref.CPI()))
 		}
 		tbl.AddRow(row...)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/vm"
 	"repro/internal/warm"
@@ -63,8 +64,23 @@ func (r *Result) WarmingToDetailRatio(cm vm.CostModel) float64 {
 
 // Run evaluates one benchmark across llcPaperSizes with a single shared
 // warm-up. The Scout's lukewarm filter uses the smallest LLC so its key
-// set is a superset of what any Analyst needs.
+// set is a superset of what any Analyst needs. The Analysts run
+// concurrently on a bounded worker pool — the §3.3 amortization story —
+// and, because each owns its program instance, engine and result slot,
+// produce the same results as a serial fan-out.
 func Run(prof *workload.Profile, cfg warm.Config, llcPaperSizes []uint64) *Result {
+	return RunParallel(prof, cfg, llcPaperSizes, 0)
+}
+
+// RunParallel is Run with an explicit Analyst worker bound (<= 0:
+// GOMAXPROCS). Any bound produces identical results — workers only change
+// how the per-region fan-out is scheduled.
+func RunParallel(prof *workload.Profile, cfg warm.Config, llcPaperSizes []uint64, workers int) *Result {
+	res := &Result{Bench: prof.Name, Sizes: llcPaperSizes,
+		WarmingCounters: stats.NewCounters()}
+	if len(llcPaperSizes) == 0 {
+		return res
+	}
 	minSize := llcPaperSizes[0]
 	for _, s := range llcPaperSizes {
 		if s < minSize {
@@ -75,13 +91,13 @@ func Run(prof *workload.Profile, cfg warm.Config, llcPaperSizes []uint64) *Resul
 	scoutCfg.LLCPaperBytes = minSize
 	d := core.New(prof, scoutCfg)
 
-	res := &Result{Bench: prof.Name, Sizes: llcPaperSizes}
 	analysts := make([]*vm.Engine, len(llcPaperSizes))
+	analystCfgs := make([]warm.Config, len(llcPaperSizes))
 	for i := range analysts {
 		analysts[i] = vm.NewEngine(prof.NewProgram(cfg.Scale))
+		analystCfgs[i] = cfg
+		analystCfgs[i].LLCPaperBytes = llcPaperSizes[i]
 		res.AnalystCounters = append(res.AnalystCounters, analysts[i].Counters)
-		sizeCfg := cfg
-		sizeCfg.LLCPaperBytes = llcPaperSizes[i]
 		res.PerSize = append(res.PerSize, &warm.Result{
 			Bench: prof.Name, Method: "DeLorean-DSE", Counters: analysts[i].Counters})
 	}
@@ -94,18 +110,18 @@ func Run(prof *workload.Profile, cfg warm.Config, llcPaperSizes []uint64) *Resul
 		}
 		engagedSum += rd.Engaged
 		records := rd.AllRecords()
-		for i, eng := range analysts {
-			sizeCfg := cfg
-			sizeCfg.LLCPaperBytes = llcPaperSizes[i]
-			warmStart := rd.Start - cfg.DetailWarm
+		runner.ForEach(len(analysts), workers, func(i int) {
+			sizeCfg := analystCfgs[i]
+			eng := analysts[i]
+			warmStart := rd.Start - sizeCfg.DetailWarm
 			eng.Prop = true
 			eng.FastForwardTo(warmStart)
 			hier := cache.NewHierarchy(sizeCfg.HierConfig(), nil)
-			cr := cpu.NewCore(cfg.CPU, hier, nil)
+			cr := cpu.NewCore(sizeCfg.CPU, hier, nil)
 			oracle := warm.NewDSWOracle(records, rd.Vicinity, rd.Assoc, hier)
 			rr := warm.EvalRegion(sizeCfg, eng, cr, oracle)
 			res.PerSize[i].Regions = append(res.PerSize[i].Regions, rr)
-		}
+		})
 	}
 	if cfg.Regions > 0 {
 		res.AvgExplorers = float64(engagedSum) / float64(cfg.Regions)
@@ -113,9 +129,7 @@ func Run(prof *workload.Profile, cfg warm.Config, llcPaperSizes []uint64) *Resul
 
 	// Shared warm-up ledger: every pass except the Analyst (which the DSE
 	// analysts replaced).
-	seq := d // the core instance holds scout+explorer counters
-	res.WarmingCounters = stats.NewCounters()
-	for name, c := range seq.PassLedgers() {
+	for name, c := range d.PassLedgers() {
 		if name != "analyst" {
 			res.WarmingCounters.Merge(c)
 		}

@@ -1,10 +1,61 @@
 package dse
 
 import (
+	"reflect"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/vm"
 )
+
+// TestEmptySizes: Run with no LLC sizes used to panic indexing
+// llcPaperSizes[0]; it must return an empty result instead.
+func TestEmptySizes(t *testing.T) {
+	cfg := testCfg()
+	res := Run(testProf(), cfg, nil)
+	if res == nil {
+		t.Fatal("nil result")
+	}
+	if len(res.PerSize) != 0 || len(res.AnalystCounters) != 0 {
+		t.Errorf("empty sweep produced %d results", len(res.PerSize))
+	}
+	if res.WarmingCounters == nil {
+		t.Error("WarmingCounters must be non-nil for an empty sweep")
+	}
+	if mc := res.MarginalCost(cfg.Cost); mc != 1 {
+		t.Errorf("empty-sweep marginal cost = %f, want 1", mc)
+	}
+}
+
+// TestSingleSizeMatchesCore: a one-size DSE run is exactly a full DeLorean
+// run of that configuration — same scout LLC, same key records, same
+// classifier — so the CPI must match core.Run bit-for-bit.
+func TestSingleSizeMatchesCore(t *testing.T) {
+	cfg := testCfg()
+	cfg.LLCPaperBytes = 256 * 1024
+	prof := testProf()
+	dseRes := Run(prof, cfg, []uint64{cfg.LLCPaperBytes})
+	coreRes := core.Run(prof, cfg)
+	if got, want := dseRes.PerSize[0].CPI(), coreRes.CPI(); got != want {
+		t.Errorf("single-size DSE CPI %f != core.Run CPI %f", got, want)
+	}
+	if got, want := dseRes.PerSize[0].LLCMPKI(), coreRes.LLCMPKI(); got != want {
+		t.Errorf("single-size DSE MPKI %f != core.Run MPKI %f", got, want)
+	}
+}
+
+// TestRunParallelDeterministic: the Analyst fan-out must produce identical
+// results for any worker bound.
+func TestRunParallelDeterministic(t *testing.T) {
+	cfg := testCfg()
+	prof := testProf()
+	sizes := []uint64{32 * 1024, 128 * 1024, 512 * 1024, 2048 * 1024}
+	serial := RunParallel(prof, cfg, sizes, 1)
+	parallel := RunParallel(prof, cfg, sizes, len(sizes))
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("serial and parallel Analyst fan-outs produced different results")
+	}
+}
 
 func TestMarginalCostEmptyIsOne(t *testing.T) {
 	r := &Result{}

@@ -3,6 +3,7 @@ package figures
 import (
 	"strings"
 
+	"repro/internal/runner"
 	"repro/internal/sampling"
 	"repro/internal/stats"
 	"repro/internal/textplot"
@@ -36,22 +37,22 @@ func Ablations(opt Options) string {
 	var b strings.Builder
 	b.WriteString("Ablation study: each DeLorean design choice removed in isolation.\n\n")
 
-	base := runVariant(profs, opt.Cfg)
+	base := runVariant(profs, opt.Cfg, opt.Eng)
 
 	// 1. Single-Explorer ladder.
 	cfg1 := opt.Cfg
 	cfg1.ExplorerWindows = []float64{1.0}
-	single := runVariant(profs, cfg1)
+	single := runVariant(profs, cfg1, opt.Eng)
 
 	// 2. No lukewarm filter.
 	cfg2 := opt.Cfg
 	cfg2.NoLukewarmFilter = true
-	nofilter := runVariant(profs, cfg2)
+	nofilter := runVariant(profs, cfg2, opt.Eng)
 
 	// 3. No vicinity sampling (interval far beyond any window).
 	cfg3 := opt.Cfg
 	cfg3.VicinityEvery = 1 << 40
-	novic := runVariant(profs, cfg3)
+	novic := runVariant(profs, cfg3, opt.Eng)
 
 	tbl := textplot.NewTable("DeLorean ablations (averages over a 6-benchmark slice)",
 		"variant", "MIPS", "triggers/region", "keys/region", "CPI err vs SMARTS")
@@ -77,8 +78,8 @@ type variantStats struct {
 	err      float64
 }
 
-func runVariant(profs []*workload.Profile, cfg warm.Config) variantStats {
-	cmp := sampling.RunAll(profs, cfg, sampling.Options{SkipCoolSim: true})
+func runVariant(profs []*workload.Profile, cfg warm.Config, eng *runner.Engine) variantStats {
+	cmp := sampling.RunAll(profs, cfg, sampling.Options{SkipCoolSim: true, Eng: eng})
 	var mips, trig, keys, errs []float64
 	for _, b := range cmp.Benches {
 		sp := sampling.BenchSpeeds(cfg, b)

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/dse"
+	"repro/internal/runner"
 	"repro/internal/sampling"
 	"repro/internal/stats"
 	"repro/internal/textplot"
@@ -25,11 +26,26 @@ type Options struct {
 	Benchmarks []*workload.Profile
 	// Short shrinks the working-set sweep and the sensitivity analyses.
 	Short bool
+	// Eng is the shared runner engine every figure's sweep executes on.
+	// Sharing one engine across figures lets jobs with identical
+	// configurations (Fig. 11's default-density point, Fig. 13/14's 8 MiB
+	// SMARTS references) reuse cached results. Nil means each figure runs
+	// on its own engine.
+	Eng *runner.Engine
 }
 
 // DefaultOptions mirrors the paper's setup.
 func DefaultOptions() Options {
-	return Options{Cfg: warm.DefaultConfig(), Benchmarks: workload.Benchmarks()}
+	return Options{Cfg: warm.DefaultConfig(), Benchmarks: workload.Benchmarks(),
+		Eng: runner.New(0)}
+}
+
+// engine returns the shared engine, or a private one when unset.
+func (o Options) engine() *runner.Engine {
+	if o.Eng != nil {
+		return o.Eng
+	}
+	return runner.New(0)
 }
 
 // Table1 renders the simulated processor configuration.
@@ -174,7 +190,8 @@ func Fig11(opt Options, ref *sampling.Comparison) string {
 	for _, dens := range densities {
 		cfg := opt.Cfg
 		cfg.VicinityEvery = dens
-		cmp := sampling.RunAll(opt.Benchmarks, cfg, sampling.Options{SkipSMARTS: true, SkipCoolSim: true})
+		cmp := sampling.RunAll(opt.Benchmarks, cfg,
+			sampling.Options{SkipSMARTS: true, SkipCoolSim: true, Eng: opt.Eng})
 		var errs, mips []float64
 		for i, bench := range cmp.Benches {
 			refCPI := ref.Benches[i].SMARTS.CPI()
@@ -194,7 +211,7 @@ func Fig11(opt Options, ref *sampling.Comparison) string {
 func Fig12(opt Options, ref *sampling.Comparison) string {
 	cfg := opt.Cfg
 	cfg.Prefetch = true
-	pf := sampling.RunAll(opt.Benchmarks, cfg, sampling.Options{SkipCoolSim: true})
+	pf := sampling.RunAll(opt.Benchmarks, cfg, sampling.Options{SkipCoolSim: true, Eng: opt.Eng})
 	var withPf, withoutPf []float64
 	for i, bench := range pf.Benches {
 		withPf = append(withPf, sampling.CPIError(bench.SMARTS.CPI(), bench.DeLorean.CPI()))
@@ -237,25 +254,37 @@ func WSSizes(short bool) []uint64 {
 // the amortization statistics of §6.4.2.
 func Fig13and14(opt Options) string {
 	sizes := WSSizes(opt.Short)
+	benches := WSBenchmarks()
 	var b strings.Builder
 	b.WriteString("Figure 13 (working-set curves) and Figure 14 (CPI vs LLC size)\n")
 	b.WriteString("Reference = SMARTS per size; DeLorean points all come from ONE shared warm-up per benchmark (§3.3).\n\n")
-	for _, prof := range WSBenchmarks() {
-		dseRes := dse.Run(prof, opt.Cfg, sizes)
-		// SMARTS reference per size, in parallel.
-		refs := make([]*warm.Result, len(sizes))
-		type job struct{ i int }
-		done := make(chan job)
-		for i := range sizes {
-			go func(i int) {
-				cfg := opt.Cfg
-				cfg.LLCPaperBytes = sizes[i]
-				refs[i] = warm.RunSMARTS(prof, cfg)
-				done <- job{i}
-			}(i)
+
+	// One matrix: a DSE sweep per benchmark plus a SMARTS reference per
+	// (benchmark, size), all sharded together on the runner.
+	var jobs []runner.Job
+	for _, prof := range benches {
+		prof := prof
+		// The matrix pool is the unit of parallelism here, so the DSE
+		// job's inner Analyst fan-out runs serially — the per-size SMARTS
+		// jobs already saturate the workers.
+		jobs = append(jobs, runner.Job{Bench: prof.Name, Method: "dse",
+			Extra: fmt.Sprint(sizes), Cfg: opt.Cfg,
+			Exec: func(cfg warm.Config) any { return dse.RunParallel(prof, cfg, sizes, 1) }})
+		for _, s := range sizes {
+			cfg := opt.Cfg
+			cfg.LLCPaperBytes = s
+			jobs = append(jobs, runner.Job{Bench: prof.Name, Method: "smarts", Cfg: cfg,
+				Exec: func(cfg warm.Config) any { return warm.RunSMARTS(prof, cfg) }})
 		}
-		for range sizes {
-			<-done
+	}
+	results := opt.engine().RunMatrix(jobs)
+
+	perBench := 1 + len(sizes) // one DSE job, then the per-size references
+	for bi, prof := range benches {
+		dseRes := results[bi*perBench].(*dse.Result)
+		refs := make([]*warm.Result, len(sizes))
+		for i := range sizes {
+			refs[i] = results[bi*perBench+1+i].(*warm.Result)
 		}
 		var xs, refMPKI, dseMPKI, refCPI, dseCPI []float64
 		tbl := textplot.NewTable(prof.Name, "LLC (paper MiB)", "ref MPKI", "DeLorean MPKI", "ref CPI", "DeLorean CPI")

@@ -1,0 +1,220 @@
+// Package runner is the sharded experiment-execution engine every
+// evaluation driver in the repository goes through: the sampling layer's
+// benchmark × methodology matrix, the figures' sensitivity sweeps, the
+// design-space exploration's Analyst fan-out and all four CLIs.
+//
+// A Job is declarative — a benchmark name, a method label and a
+// warm.Config variant — plus the closure that executes it. The engine
+// provides what every caller used to hand-roll:
+//
+//   - a bounded worker pool (GOMAXPROCS by default, overridable), instead
+//     of one goroutine per job;
+//   - deterministic per-job RNG seeding derived from the job's identity,
+//     so results are bit-identical no matter how many workers run the
+//     matrix or in which order jobs are scheduled;
+//   - a content-hash result cache with single-flight semantics: figures
+//     that share a configuration (Fig. 5-8 all consume the same 8 MiB
+//     comparison; Fig. 11's default-density point equals the baseline)
+//     never re-run a job, even when submitted concurrently;
+//   - streaming progress callbacks so CLIs can report completion without
+//     owning the scheduling.
+package runner
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/warm"
+)
+
+// Job is one unit of experiment execution: a benchmark evaluated under one
+// method and one configuration. The (Bench, Method, Extra, Cfg) tuple is
+// the job's identity — it keys the result cache and derives the per-job
+// seed — so Exec must be a pure function of that tuple and the config it
+// receives. In particular, Bench must pin the workload content: two jobs
+// sharing a Bench name and config on one engine are treated as the same
+// experiment and share a cached result, so a profile not fully determined
+// by its name must fold the distinguishing fields into Extra.
+type Job struct {
+	Bench  string
+	Method string
+	// Extra distinguishes jobs whose identity goes beyond the config —
+	// e.g. a DSE job's LLC size list.
+	Extra string
+	Cfg   warm.Config
+	// Exec runs the experiment. It receives Cfg with the per-job seed
+	// already derived (see SeededCfg).
+	Exec func(cfg warm.Config) any
+}
+
+// Key returns the content-hash cache key of the job's identity. Two jobs
+// with the same benchmark, method, extra tag and configuration are the
+// same experiment and share one result.
+func (j Job) Key() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%#v", j.Bench, j.Method, j.Extra, j.Cfg)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// SeededCfg returns the job's configuration with Seed replaced by a value
+// derived from the base seed and the job's identity. Every job therefore
+// draws from its own deterministic stream: results do not depend on worker
+// count or scheduling order, and probabilistic draws are decorrelated
+// across benchmarks. Seed currently feeds only CoolSim's RSW oracle (the
+// workload carries its own seed), and every driver keys CoolSim jobs the
+// same way, so a given (bench, cfg) reports identical numbers in every
+// figure and CLI.
+func (j Job) SeededCfg() warm.Config {
+	cfg := j.Cfg
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s", j.Bench, j.Method, j.Extra)
+	cfg.Seed = mix64(cfg.Seed ^ h.Sum64())
+	return cfg
+}
+
+// mix64 is the splitmix64 finalizer, used to spread the identity hash.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Progress is one streaming completion event.
+type Progress struct {
+	Done, Total int
+	Job         Job
+	Cached      bool
+	Elapsed     time.Duration
+}
+
+// Engine executes job matrices on a bounded worker pool with a
+// single-flight result cache. The zero value is not usable; construct
+// with New. An Engine may be shared across many RunMatrix calls (and
+// goroutines) so that the cache spans a whole CLI run.
+type Engine struct {
+	// Workers bounds concurrent jobs; <= 0 means GOMAXPROCS.
+	Workers int
+	// OnProgress, when set, streams one event per completed job. Calls are
+	// serialized, so callers may write terminal output directly.
+	OnProgress func(Progress)
+
+	mu     sync.Mutex
+	cache  map[string]*cacheEntry
+	hits   uint64
+	misses uint64
+
+	progMu sync.Mutex
+}
+
+type cacheEntry struct {
+	done chan struct{}
+	val  any
+}
+
+// New returns an engine with the given worker bound (<= 0: GOMAXPROCS).
+func New(workers int) *Engine {
+	return &Engine{Workers: workers, cache: make(map[string]*cacheEntry)}
+}
+
+// PoolSize resolves a requested worker count (<= 0: GOMAXPROCS).
+func PoolSize(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// CacheStats returns how many job lookups hit and missed the result cache.
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.misses
+}
+
+// RunMatrix executes the jobs and returns their results in matrix order.
+// Duplicate jobs — within the matrix or against earlier matrices on the
+// same engine — execute once and share the cached result.
+func (e *Engine) RunMatrix(jobs []Job) []any {
+	out := make([]any, len(jobs))
+	done := 0
+	ForEach(len(jobs), e.Workers, func(i int) {
+		out[i] = e.runJob(jobs[i], len(jobs), &done)
+	})
+	return out
+}
+
+// runJob executes one job with single-flight caching: the first caller of
+// a key runs it, concurrent duplicates block until the result lands.
+func (e *Engine) runJob(j Job, total int, done *int) any {
+	start := time.Now()
+	key := j.Key()
+	e.mu.Lock()
+	if ent, ok := e.cache[key]; ok {
+		e.hits++
+		e.mu.Unlock()
+		<-ent.done
+		e.progress(j, total, done, true, time.Since(start))
+		return ent.val
+	}
+	ent := &cacheEntry{done: make(chan struct{})}
+	e.cache[key] = ent
+	e.misses++
+	e.mu.Unlock()
+
+	ent.val = j.Exec(j.SeededCfg())
+	close(ent.done)
+	e.progress(j, total, done, false, time.Since(start))
+	return ent.val
+}
+
+func (e *Engine) progress(j Job, total int, done *int, cached bool, d time.Duration) {
+	if e.OnProgress == nil {
+		e.progMu.Lock()
+		*done++
+		e.progMu.Unlock()
+		return
+	}
+	e.progMu.Lock()
+	*done++
+	p := Progress{Done: *done, Total: total, Job: j, Cached: cached, Elapsed: d}
+	e.OnProgress(p)
+	e.progMu.Unlock()
+}
+
+// ForEach runs fn(0..n-1) on a bounded worker pool (workers <= 0:
+// GOMAXPROCS) and waits for all calls to finish. It is the low-level shard
+// primitive for fan-outs whose units are not cacheable jobs — e.g. the
+// DSE driver's per-region Analyst fan-out, where every Analyst owns slot i
+// of the result.
+func ForEach(n, workers int, fn func(i int)) {
+	workers = PoolSize(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

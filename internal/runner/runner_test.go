@@ -1,0 +1,182 @@
+package runner_test
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+	"repro/internal/warm"
+	"repro/internal/workload"
+)
+
+func testCfg() warm.Config {
+	cfg := warm.DefaultConfig()
+	cfg.Regions = 2
+	cfg.PaperGap = 600_000
+	cfg.Scale = 1
+	cfg.VicinityEvery = 5_000
+	return cfg
+}
+
+func testProf(name string, seed uint64) *workload.Profile {
+	return &workload.Profile{
+		Name: name, MemRatio: 0.4, BranchRatio: 0.1, LoopDuty: 16,
+		RandomBranchFrac: 0.05, ILP: 4, CodeKiB: 8, Seed: seed,
+		Streams: []workload.StreamSpec{
+			{Kind: workload.Rand, Weight: 0.6, PaperBytes: 4 * 1024, PCs: 8},
+			{Kind: workload.Rand, Weight: 0.4, PaperBytes: 256 * 1024, PCs: 4},
+		},
+	}
+}
+
+// matrix builds a small mixed-method job matrix over two benchmarks.
+func matrix(cfg warm.Config) []runner.Job {
+	var jobs []runner.Job
+	for _, p := range []*workload.Profile{testProf("rt-a", 11), testProf("rt-b", 23)} {
+		p := p
+		jobs = append(jobs,
+			runner.Job{Bench: p.Name, Method: "smarts", Cfg: cfg,
+				Exec: func(cfg warm.Config) any { return warm.RunSMARTS(p, cfg) }},
+			runner.Job{Bench: p.Name, Method: "coolsim", Cfg: cfg,
+				Exec: func(cfg warm.Config) any { return warm.RunCoolSim(p, cfg) }},
+			runner.Job{Bench: p.Name, Method: "delorean", Cfg: cfg,
+				Exec: func(cfg warm.Config) any { return core.Run(p, cfg) }},
+		)
+	}
+	return jobs
+}
+
+func TestKeyIdentity(t *testing.T) {
+	cfg := testCfg()
+	a := runner.Job{Bench: "x", Method: "smarts", Cfg: cfg}
+	b := runner.Job{Bench: "x", Method: "smarts", Cfg: cfg}
+	if a.Key() != b.Key() {
+		t.Error("identical jobs must share a key")
+	}
+	c := a
+	c.Method = "coolsim"
+	if a.Key() == c.Key() {
+		t.Error("method must be part of the key")
+	}
+	d := a
+	d.Extra = "sizes=[1,2]"
+	if a.Key() == d.Key() {
+		t.Error("extra must be part of the key")
+	}
+	e := a
+	e.Cfg.VicinityEvery++
+	if a.Key() == e.Key() {
+		t.Error("config must be part of the key")
+	}
+}
+
+func TestSeededCfgDeterministic(t *testing.T) {
+	cfg := testCfg()
+	a := runner.Job{Bench: "x", Method: "smarts", Cfg: cfg}
+	if a.SeededCfg().Seed != a.SeededCfg().Seed {
+		t.Error("seed derivation must be deterministic")
+	}
+	if a.SeededCfg().Seed == cfg.Seed {
+		t.Error("per-job seed should differ from the base seed")
+	}
+	b := runner.Job{Bench: "y", Method: "smarts", Cfg: cfg}
+	if a.SeededCfg().Seed == b.SeededCfg().Seed {
+		t.Error("different benchmarks must draw from different streams")
+	}
+}
+
+// TestDeterminismAcrossWorkerCounts is the runner's core guarantee: the
+// same matrix run serially and with a full worker pool produces
+// bit-identical results (it mirrors the RunSequential/RunPipelined
+// equivalence guarantee in internal/core).
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	cfg := testCfg()
+	serial := runner.New(1).RunMatrix(matrix(cfg))
+	// Fixed bound > 1 so the parallel leg stays parallel even when
+	// GOMAXPROCS is 1 (single-CPU CI).
+	parallel := runner.New(8).RunMatrix(matrix(cfg))
+	if len(serial) != len(parallel) {
+		t.Fatalf("result lengths differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("job %d: serial and parallel results differ", i)
+		}
+	}
+}
+
+// TestCacheSingleFlight: duplicate jobs — across matrices and within one —
+// must execute exactly once.
+func TestCacheSingleFlight(t *testing.T) {
+	cfg := testCfg()
+	var execs int32
+	job := runner.Job{Bench: "rt-a", Method: "count", Cfg: cfg,
+		Exec: func(cfg warm.Config) any {
+			atomic.AddInt32(&execs, 1)
+			return cfg.Seed
+		}}
+	eng := runner.New(4)
+	first := eng.RunMatrix([]runner.Job{job, job, job, job})
+	second := eng.RunMatrix([]runner.Job{job})
+	if n := atomic.LoadInt32(&execs); n != 1 {
+		t.Errorf("job executed %d times, want 1", n)
+	}
+	for i, v := range first {
+		if v != first[0] {
+			t.Errorf("duplicate job %d returned a different result", i)
+		}
+	}
+	if second[0] != first[0] {
+		t.Error("cross-matrix cache miss")
+	}
+	hits, misses := eng.CacheStats()
+	if misses != 1 || hits != 4 {
+		t.Errorf("cache stats = %d hits / %d misses, want 4 / 1", hits, misses)
+	}
+}
+
+func TestRunMatrixOrderAndProgress(t *testing.T) {
+	cfg := testCfg()
+	var jobs []runner.Job
+	for i := 0; i < 17; i++ {
+		i := i
+		jobs = append(jobs, runner.Job{Bench: "b", Method: "m", Extra: string(rune('a' + i)), Cfg: cfg,
+			Exec: func(warm.Config) any { return i }})
+	}
+	eng := runner.New(3)
+	var events int
+	eng.OnProgress = func(p runner.Progress) {
+		events++
+		if p.Total != len(jobs) {
+			t.Errorf("progress total = %d, want %d", p.Total, len(jobs))
+		}
+		if p.Done < 1 || p.Done > len(jobs) {
+			t.Errorf("progress done out of range: %d", p.Done)
+		}
+	}
+	out := eng.RunMatrix(jobs)
+	for i, v := range out {
+		if v.(int) != i {
+			t.Errorf("result %d out of order: got %v", i, v)
+		}
+	}
+	if events != len(jobs) {
+		t.Errorf("got %d progress events, want %d", events, len(jobs))
+	}
+}
+
+func TestForEach(t *testing.T) {
+	for _, workers := range []int{1, 2, 16} {
+		n := 100
+		out := make([]int, n)
+		runner.ForEach(n, workers, func(i int) { out[i] = i + 1 })
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, v)
+			}
+		}
+	}
+	runner.ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}

@@ -6,10 +6,8 @@
 package sampling
 
 import (
-	"runtime"
-	"sync"
-
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/warm"
 	"repro/internal/workload"
@@ -34,46 +32,51 @@ type Options struct {
 	SkipSMARTS   bool
 	SkipCoolSim  bool
 	SkipDeLorean bool
-	// Parallel bounds worker goroutines (0 = GOMAXPROCS).
+	// Parallel bounds worker goroutines (0 = GOMAXPROCS). Ignored when Eng
+	// is set — the engine's own worker bound applies.
 	Parallel int
+	// Eng, when set, executes the matrix on a shared runner engine so the
+	// result cache and progress stream span multiple RunAll calls (the
+	// figures CLI shares one engine across every figure). When nil a
+	// private engine is used.
+	Eng *runner.Engine
 }
 
-// RunAll evaluates the given benchmarks under the selected methodologies,
-// parallelizing across (benchmark, methodology) pairs.
+// RunAll evaluates the given benchmarks under the selected methodologies
+// by building a declarative (benchmark × methodology) job matrix and
+// running it on the sharded runner engine. Results are deterministic for
+// any worker count: each job's RNG seed derives from its identity, not
+// from scheduling order.
 func RunAll(profs []*workload.Profile, cfg warm.Config, opt Options) *Comparison {
 	cmp := &Comparison{Cfg: cfg, Benches: make([]BenchResult, len(profs))}
-	type job func()
-	var jobs []job
+	eng := opt.Eng
+	if eng == nil {
+		eng = runner.New(opt.Parallel)
+	}
+	var jobs []runner.Job
+	var assign []func(any)
 	for i, p := range profs {
 		i, p := i, p
 		cmp.Benches[i].Bench = p.Name
 		if !opt.SkipSMARTS {
-			jobs = append(jobs, func() { cmp.Benches[i].SMARTS = warm.RunSMARTS(p, cfg) })
+			jobs = append(jobs, runner.Job{Bench: p.Name, Method: "smarts", Cfg: cfg,
+				Exec: func(cfg warm.Config) any { return warm.RunSMARTS(p, cfg) }})
+			assign = append(assign, func(v any) { cmp.Benches[i].SMARTS = v.(*warm.Result) })
 		}
 		if !opt.SkipCoolSim {
-			jobs = append(jobs, func() { cmp.Benches[i].CoolSim = warm.RunCoolSim(p, cfg) })
+			jobs = append(jobs, runner.Job{Bench: p.Name, Method: "coolsim", Cfg: cfg,
+				Exec: func(cfg warm.Config) any { return warm.RunCoolSim(p, cfg) }})
+			assign = append(assign, func(v any) { cmp.Benches[i].CoolSim = v.(*warm.Result) })
 		}
 		if !opt.SkipDeLorean {
-			jobs = append(jobs, func() { cmp.Benches[i].DeLorean = core.Run(p, cfg) })
+			jobs = append(jobs, runner.Job{Bench: p.Name, Method: "delorean", Cfg: cfg,
+				Exec: func(cfg warm.Config) any { return core.Run(p, cfg) }})
+			assign = append(assign, func(v any) { cmp.Benches[i].DeLorean = v.(*core.Result) })
 		}
 	}
-	workers := opt.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	for i, v := range eng.RunMatrix(jobs) {
+		assign[i](v)
 	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		j := j
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			j()
-			<-sem
-		}()
-	}
-	wg.Wait()
 	return cmp
 }
 
