@@ -192,6 +192,28 @@ func BenchmarkFigure14_DSE(b *testing.B) {
 	}
 }
 
+// BenchmarkCoRun_Validation runs one co-run scenario (simulation +
+// calibration + StatCC prediction) and reports the prediction errors.
+func BenchmarkCoRun_Validation(b *testing.B) {
+	cfg := benchCfg()
+	scenarios := figures.CoRunMixes(true)[:1]
+	sizes := figures.CoRunSizes(true)
+	for i := 0; i < b.N; i++ {
+		cells := figures.CoRunMatrix(runner.New(0), scenarios, sizes, cfg)
+		var cpiErr, missErr float64
+		var n int
+		for _, c := range cells {
+			for _, a := range c.Apps {
+				cpiErr += a.CPIError()
+				missErr += a.MissError()
+				n++
+			}
+		}
+		b.ReportMetric(cpiErr/float64(n)*100, "CPI-err-%")
+		b.ReportMetric(missErr/float64(n), "miss-err-abs")
+	}
+}
+
 // BenchmarkHeadline_MIPS regenerates the absolute-speed headline.
 func BenchmarkHeadline_MIPS(b *testing.B) {
 	cfg := benchCfg()

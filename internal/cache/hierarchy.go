@@ -94,6 +94,13 @@ type Hierarchy struct {
 	Oracle Oracle
 	Pref   *StridePrefetcher
 
+	// ASLBase offsets every line this core presents to the (possibly
+	// shared) LLC. Co-running programs are separate guests whose identical
+	// virtual layouts map to disjoint physical memory; NewSharedHierarchy
+	// gives each core a distinct base so their lines contend in the shared
+	// LLC instead of aliasing. Zero (the solo default) is a no-op.
+	ASLBase mem.Line
+
 	// Counters for MPKI and the lukewarm statistics the paper quotes.
 	DataAccesses uint64
 	LLCMissCount uint64
@@ -125,6 +132,48 @@ func NewHierarchy(cfg HierarchyConfig, oracle Oracle) *Hierarchy {
 	return h
 }
 
+// NewSharedHierarchy builds cores hierarchies with private L1s that all
+// filter into ONE shared LLC — the multi-core co-run substrate (§4.2). Each
+// returned Hierarchy keeps its own per-core counters (DataAccesses,
+// LLCMissCount, ...), so contention statistics stay attributable per app,
+// while the LLC's tags, replacement state and aggregate hit/miss counts are
+// shared. The per-core stride prefetchers, when enabled, also train only on
+// their own core's LLC traffic, as in a private-prefetcher CMP design.
+//
+// The shared LLC is not thread-safe: callers interleave the cores'
+// accesses on one goroutine (multiprog.CoSim drives the interleaving).
+func NewSharedHierarchy(cfg HierarchyConfig, cores int) []*Hierarchy {
+	if cores < 1 {
+		cores = 1
+	}
+	llc := New(cfg.LLC)
+	out := make([]*Hierarchy, cores)
+	for i := range out {
+		h := &Hierarchy{
+			Cfg: cfg,
+			L1I: New(cfg.L1I),
+			L1D: New(cfg.L1D),
+			LLC: llc,
+			// Disjoint per-core physical address spaces, far above any
+			// line a program generates (code sits at line 2^40).
+			ASLBase: mem.Line(uint64(i) << 48),
+		}
+		if cfg.Prefetch {
+			streams := cfg.PrefStreams
+			if streams <= 0 {
+				streams = 8
+			}
+			deg := cfg.PrefDegree
+			if deg <= 0 {
+				deg = 2
+			}
+			h.Pref = NewStridePrefetcher(streams, deg)
+		}
+		out[i] = h
+	}
+	return out
+}
+
 // AccessData performs one data access through L1D and the LLC, consulting
 // the oracle on misses and triggering the prefetcher on (post-override)
 // LLC traffic.
@@ -140,7 +189,7 @@ func (h *Hierarchy) AccessData(a *mem.Access) DataResult {
 		h.WarmingHits++
 		return DataResult{Latency: h.Cfg.L1D.HitLat, Served: LevelL1, L1: Miss, WarmingHit: true}
 	}
-	llcOut, _, _ := h.LLC.Lookup(line)
+	llcOut, _, _ := h.LLC.Lookup(line + h.ASLBase)
 	if llcOut == Hit {
 		h.prefetchObserve(a, false)
 		return DataResult{Latency: h.Cfg.L1D.HitLat + h.Cfg.LLC.HitLat, Served: LevelLLC, L1: Miss}
@@ -164,10 +213,10 @@ func (h *Hierarchy) prefetchObserve(a *mem.Access, miss bool) {
 	}
 	for _, pl := range h.Pref.Observe(a.PC, a.Line(), miss) {
 		// Prefetches to lines already present are nullified (§6.3.2).
-		if h.LLC.Probe(pl) {
+		if h.LLC.Probe(pl + h.ASLBase) {
 			continue
 		}
-		h.LLC.Install(pl)
+		h.LLC.Install(pl + h.ASLBase)
 		h.PrefIssued++
 	}
 }
@@ -178,7 +227,7 @@ func (h *Hierarchy) AccessInstr(line mem.Line) uint32 {
 	if out == Hit {
 		return h.Cfg.L1I.HitLat
 	}
-	llcOut, _, _ := h.LLC.Lookup(line)
+	llcOut, _, _ := h.LLC.Lookup(line + h.ASLBase)
 	if llcOut == Hit {
 		return h.Cfg.L1I.HitLat + h.Cfg.LLC.HitLat
 	}
@@ -193,7 +242,7 @@ func (h *Hierarchy) WarmData(line mem.Line) {
 	if out, _, _ := h.L1D.Lookup(line); out == Hit {
 		return
 	}
-	h.LLC.Lookup(line)
+	h.LLC.Lookup(line + h.ASLBase)
 }
 
 // WarmInstr functionally warms the instruction side.
@@ -201,7 +250,7 @@ func (h *Hierarchy) WarmInstr(line mem.Line) {
 	if out, _, _ := h.L1I.Lookup(line); out == Hit {
 		return
 	}
-	h.LLC.Lookup(line)
+	h.LLC.Lookup(line + h.ASLBase)
 }
 
 // Reset invalidates all levels.

@@ -27,6 +27,8 @@
 package core
 
 import (
+	"strconv"
+
 	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/mem"
@@ -314,7 +316,12 @@ func (d *DeLorean) ExploreRegion(k int, msg *RegionData) {
 }
 
 func keyCounter(explorer int) string {
-	return "fix/keys_e" + string(rune('0'+explorer))
+	return "fix/keys_e" + strconv.Itoa(explorer)
+}
+
+// explorerName is the ledger name of Explorer k (0-based).
+func explorerName(k int) string {
+	return "explorer-" + strconv.Itoa(k+1)
 }
 
 // analyzeRegion runs the Analyst: detailed warming plus the detailed
@@ -341,12 +348,17 @@ func (d *DeLorean) finish() *Result {
 	r := d.res
 	r.PassCounters["scout"] = d.scout.Counters
 	for i, e := range d.explorers {
-		r.PassCounters["explorer-"+string(rune('1'+i))] = e.Counters
+		r.PassCounters[explorerName(i)] = e.Counters
 	}
 	r.PassCounters["analyst"] = d.analyst.Counters
-	for _, c := range r.PassCounters {
-		r.Counters.Merge(c)
+	// Merge in a fixed pass order, not map order: float addition is not
+	// associative, and the aggregate must be bit-identical across runs for
+	// the golden-figure and determinism tests.
+	r.Counters.Merge(d.scout.Counters)
+	for _, e := range d.explorers {
+		r.Counters.Merge(e.Counters)
 	}
+	r.Counters.Merge(d.analyst.Counters)
 	var engaged int
 	for _, e := range d.engagedRegions {
 		engaged += e
@@ -354,7 +366,10 @@ func (d *DeLorean) finish() *Result {
 	if n := len(d.engagedRegions); n > 0 {
 		r.AvgExplorers = float64(engaged) / float64(n)
 	}
-	for k := 1; k <= len(d.explorers); k++ {
+	// KeysPerExplorer is a fixed-size array sized for the paper's four
+	// windows; configurations with more Explorers keep the full breakdown
+	// in the fix/keys_eN counters, and the array holds the first four.
+	for k := 1; k <= len(d.explorers) && k < len(r.KeysPerExplorer); k++ {
 		r.KeysPerExplorer[k] = uint64(r.Counters.Get(keyCounter(k)))
 	}
 	r.KeysPerExplorer[0] = uint64(r.Counters.Get("fix/keys_unresolved"))
@@ -376,7 +391,7 @@ func (d *DeLorean) PassLedgers() map[string]*stats.Counters {
 		"analyst": d.analyst.Counters,
 	}
 	for i, e := range d.explorers {
-		out["explorer-"+string(rune('1'+i))] = e.Counters
+		out[explorerName(i)] = e.Counters
 	}
 	return out
 }

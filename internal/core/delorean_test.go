@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strconv"
 	"testing"
 
 	"repro/internal/mem"
@@ -163,13 +164,10 @@ func TestExplorerWindowAssignment(t *testing.T) {
 	}
 }
 
-// TestSequentialPipelinedEquivalence: the goroutine pipeline must produce
-// exactly the sequential results.
-func TestSequentialPipelinedEquivalence(t *testing.T) {
-	prof := testProfile()
-	cfg := testConfig()
-	seq := New(prof, cfg).RunSequential()
-	pipe := New(prof, cfg).RunPipelined()
+// requireEquivalent fails the test unless the two results are identical in
+// every observable: per-region stats, Explorer metrics and all counters.
+func requireEquivalent(t *testing.T, seq, pipe *Result) {
+	t.Helper()
 	if len(seq.Regions) != len(pipe.Regions) {
 		t.Fatalf("region counts differ: %d vs %d", len(seq.Regions), len(pipe.Regions))
 	}
@@ -182,10 +180,96 @@ func TestSequentialPipelinedEquivalence(t *testing.T) {
 	if seq.AvgExplorers != pipe.AvgExplorers {
 		t.Errorf("AvgExplorers differ: %f vs %f", seq.AvgExplorers, pipe.AvgExplorers)
 	}
-	for _, name := range seq.Counters.Names() {
+	if seq.KeysPerExplorer != pipe.KeysPerExplorer {
+		t.Errorf("KeysPerExplorer differ: %v vs %v", seq.KeysPerExplorer, pipe.KeysPerExplorer)
+	}
+	names := seq.Counters.Names()
+	if pn := pipe.Counters.Names(); len(pn) != len(names) {
+		t.Errorf("counter name sets differ: %v vs %v", names, pn)
+	}
+	for _, name := range names {
 		if a, b := seq.Counters.Get(name), pipe.Counters.Get(name); a != b {
 			t.Errorf("counter %s differs: %f vs %f", name, a, b)
 		}
+	}
+}
+
+// equivalenceConfigs are the sweep configurations: the local test geometry
+// plus a scaled one, so the equivalence holds both at scale 1 and with the
+// paper's scaling machinery (scaled windows, floored caches) engaged.
+func equivalenceConfigs() map[string]warm.Config {
+	a := testConfig()
+	a.Regions = 2
+	a.PaperGap = 250_000
+
+	b := warm.DefaultConfig()
+	b.Regions = 2
+	b.Scale = 4
+	b.PaperGap = 600_000 // scaled gap 150k, comfortably above DetailWarm
+	b.LLCPaperBytes = 1 << 20
+	b.VicinityEvery = 20_000
+	return map[string]warm.Config{"scale1": a, "scale4": b}
+}
+
+// TestSequentialPipelinedEquivalence: the goroutine pipeline must produce
+// exactly the sequential results — for every workload profile of the suite
+// under at least two configurations, not just a hand-picked one.
+func TestSequentialPipelinedEquivalence(t *testing.T) {
+	profs := append([]*workload.Profile{testProfile()}, workload.Benchmarks()...)
+	if testing.Short() {
+		profs = profs[:7]
+	}
+	for cfgName, cfg := range equivalenceConfigs() {
+		cfgName, cfg := cfgName, cfg
+		for _, prof := range profs {
+			prof := prof
+			t.Run(prof.Name+"/"+cfgName, func(t *testing.T) {
+				t.Parallel()
+				seq := New(prof, cfg).RunSequential()
+				pipe := New(prof, cfg).RunPipelined()
+				requireEquivalent(t, seq, pipe)
+			})
+		}
+	}
+}
+
+// TestManyExplorersCounterNames: configurations with more than 9 Explorer
+// windows must produce sane, distinct, decimal ledger names. Regression
+// test for string(rune('0'+k)), which silently emitted ':', ';', '<' ...
+// past explorer 9 (and an out-of-range write into KeysPerExplorer).
+func TestManyExplorersCounterNames(t *testing.T) {
+	cfg := testConfig()
+	cfg.Regions = 1
+	cfg.ExplorerWindows = []float64{
+		0.002, 0.004, 0.008, 0.012, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0,
+	}
+	for k := 1; k <= 12; k++ {
+		want := "fix/keys_e" + strconv.Itoa(k)
+		if got := keyCounter(k); got != want {
+			t.Errorf("keyCounter(%d) = %q, want %q", k, got, want)
+		}
+	}
+	res := Run(testProfile(), cfg)
+	for i := 0; i < 12; i++ {
+		name := "explorer-" + strconv.Itoa(i+1)
+		if _, ok := res.PassCounters[name]; !ok {
+			t.Errorf("missing pass ledger %q", name)
+		}
+	}
+	if got, want := len(res.PassCounters), 12+2; got != want {
+		t.Errorf("pass ledger count = %d, want %d (scout + 12 explorers + analyst)", got, want)
+	}
+	// Key accounting must still close over the full 12-explorer breakdown.
+	total := res.Counters.Get("fix/keys_total")
+	sum := res.Counters.Get("fix/keys_unresolved")
+	for k := 1; k <= 12; k++ {
+		sum += res.Counters.Get(keyCounter(k))
+	}
+	if total != sum {
+		t.Errorf("key accounting: total %f != unresolved + sum over 12 explorers %f", total, sum)
+	}
+	if total == 0 {
+		t.Error("no keys at all — test profile too cache-friendly")
 	}
 }
 

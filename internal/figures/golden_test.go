@@ -1,0 +1,64 @@
+package figures
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sampling"
+	"repro/internal/warm"
+)
+
+// Golden-figure regression tests: the covered figures are rendered with a
+// small fixed configuration and compared byte-for-byte against checked-in
+// goldens, so any textual drift — a changed number, a reordered row, a
+// reformatted column — fails loudly instead of silently shipping. After an
+// *intended* change, regenerate with:
+//
+//	go test ./internal/figures/ -run Golden -update
+//
+// The pipeline is deterministic by construction (per-job seeding, fixed
+// ledger merge order), so the goldens are stable across runs and worker
+// counts. They are generated on linux/amd64; an architecture that fuses
+// multiply-adds differently could shift a last digit — regenerate there if
+// it ever comes up.
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("update %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run with -update to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s\nIf the change is intended, regenerate with -update.",
+			name, got, string(want))
+	}
+}
+
+// TestGoldenFig5And8 covers the speed chart and the Explorer-engagement
+// chart from one shared tiny comparison.
+func TestGoldenFig5And8(t *testing.T) {
+	opt := tinyOptions()
+	cmp := sampling.RunAll(opt.Benchmarks, opt.Cfg, sampling.Options{})
+	checkGolden(t, "fig5.golden", Fig5(cmp))
+	checkGolden(t, "fig8.golden", Fig8(cmp))
+}
+
+// TestGoldenFig13 covers the working-set-curve tables and plots at the
+// reduced geometry TestFig13and14Tiny uses.
+func TestGoldenFig13(t *testing.T) {
+	cfg := warm.DefaultConfig()
+	cfg.Regions = 2
+	cfg.PaperGap = 8_000_000
+	checkGolden(t, "fig13.golden", Fig13and14(Options{Cfg: cfg, Short: true}))
+}

@@ -1,0 +1,442 @@
+// Co-run simulation engine: the reference that makes the StatCC model of
+// statcc.go testable. N workload programs run on N private-L1 cores that
+// share one LLC (cache.NewSharedHierarchy); the engine interleaves them
+// cycle-balanced — always stepping the core with the fewest elapsed cycles —
+// so each app's share of the interleaved access stream is proportional to
+// its access *rate* (accesses/instruction over CPI), exactly the weighting
+// StatCC's dilation assumes. Faster apps naturally execute more
+// instructions per shared-cache "wall-clock" window, slower apps fewer.
+package multiprog
+
+import (
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/reuse"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// CoSimConfig is the co-run simulation setup. Capacities are paper-scale
+// bytes divided by Scale, like everywhere else (DESIGN.md §2).
+type CoSimConfig struct {
+	Scale         uint64
+	LLCPaperBytes uint64
+	Prefetch      bool
+	CPU           cpu.Config
+	// WarmupInstr is the per-app instruction count of the interleaved
+	// cache warm-up phase (not measured).
+	WarmupInstr uint64
+	// MeasureCycles is the measured co-run horizon in core cycles: every
+	// core runs until its own clock passes the horizon, so all apps cover
+	// the same simulated wall-clock span at their own speeds.
+	MeasureCycles uint64
+	// Quantum is the scheduling quantum in instructions; it bounds how far
+	// one core's clock may run ahead between interleave decisions.
+	Quantum uint64
+	// MaxIters bounds the StatCC fixed point used for predictions.
+	MaxIters int
+}
+
+// DefaultCoSimConfig mirrors the paper's Table 1 machine at scale 64 with
+// an 8 MiB(-equivalent) shared LLC.
+func DefaultCoSimConfig() CoSimConfig {
+	return CoSimConfig{
+		Scale:         64,
+		LLCPaperBytes: 8 << 20,
+		CPU:           cpu.DefaultConfig(),
+		WarmupInstr:   200_000,
+		MeasureCycles: 600_000,
+		Quantum:       200,
+		MaxIters:      50,
+	}
+}
+
+// HierConfig builds the Table 1 hierarchy for this configuration.
+func (c CoSimConfig) HierConfig() cache.HierarchyConfig {
+	h := cache.DefaultHierarchy(c.LLCPaperBytes, c.Scale)
+	h.Prefetch = c.Prefetch
+	return h
+}
+
+// LLCLines returns the shared-LLC capacity in cachelines (the unit the
+// statistical models take).
+func (c CoSimConfig) LLCLines() uint64 { return c.HierConfig().LLC.Lines() }
+
+func (c CoSimConfig) quantum() uint64 {
+	if c.Quantum == 0 {
+		return 200
+	}
+	return c.Quantum
+}
+
+// AppSim is one app's measured co-run behaviour.
+type AppSim struct {
+	Name  string
+	Stats cpu.Stats
+	// CPI is the measured cycles per instruction under contention.
+	CPI float64
+	// MissRatio is shared-LLC misses per *memory access* (not per LLC
+	// access) — the quantity StatStack/StatCC predict from the full reuse
+	// stream, so the two sides are directly comparable.
+	MissRatio float64
+	// Dilation is the measured interleaving factor: total co-run memory
+	// accesses over this app's own, during the measured window.
+	Dilation float64
+}
+
+// CoRunResult is one full co-run simulation.
+type CoRunResult struct {
+	LLCPaperBytes uint64
+	Apps          []AppSim
+}
+
+// coApp is one core's runtime state.
+type coApp struct {
+	name   string
+	prog   *workload.Program
+	core   *cpu.Core
+	cycles uint64
+	meas   cpu.Stats
+}
+
+// CoSim interleaves N programs onto private-L1 cores sharing one LLC.
+// Construct with NewCoSim; Run is single-shot. Deterministic: the same
+// profiles and config produce identical results on every run.
+type CoSim struct {
+	Cfg  CoSimConfig
+	apps []*coApp
+}
+
+// NewCoSim builds the co-run engine for the given app mix.
+func NewCoSim(profs []*workload.Profile, cfg CoSimConfig) *CoSim {
+	hiers := cache.NewSharedHierarchy(cfg.HierConfig(), len(profs))
+	cs := &CoSim{Cfg: cfg}
+	for i, p := range profs {
+		prog := p.NewProgram(cfg.Scale)
+		cs.apps = append(cs.apps, &coApp{
+			name: p.Name,
+			prog: prog,
+			core: cpu.NewCore(cfg.CPU, hiers[i], nil),
+		})
+	}
+	return cs
+}
+
+// next returns the index of the core to step: the one with the fewest
+// elapsed cycles among those still eligible (ties break by index, so
+// scheduling is deterministic), or -1 when no core is eligible. Every
+// phase — warm-up, alignment, measurement — schedules through this one
+// selector so their interleaving rules cannot drift apart.
+func (cs *CoSim) next(eligible func(i int) bool) int {
+	best := -1
+	for i, a := range cs.apps {
+		if !eligible(i) {
+			continue
+		}
+		if best < 0 || a.cycles < cs.apps[best].cycles {
+			best = i
+		}
+	}
+	return best
+}
+
+// below returns an eligibility check for "clock still under limit".
+func (cs *CoSim) below(limit uint64) func(int) bool {
+	return func(i int) bool { return cs.apps[i].cycles < limit }
+}
+
+// Run executes the warm-up then the measured co-run window and returns the
+// per-app results.
+func (cs *CoSim) Run() *CoRunResult {
+	cfg := cs.Cfg
+	q := cfg.quantum()
+
+	// Interleaved warm-up: every app executes WarmupInstr instructions,
+	// cycle-balanced, populating the private L1s and the shared LLC under
+	// contention. Nothing is measured.
+	if cfg.WarmupInstr > 0 {
+		warmed := make([]uint64, len(cs.apps))
+		for {
+			best := cs.next(func(i int) bool { return warmed[i] < cfg.WarmupInstr })
+			if best < 0 {
+				break
+			}
+			n := q
+			if rem := cfg.WarmupInstr - warmed[best]; rem < n {
+				n = rem
+			}
+			a := cs.apps[best]
+			st := a.core.Run(a.prog, n)
+			a.cycles += st.Cycles
+			warmed[best] += n
+		}
+	}
+
+	// Alignment: the instruction-quota warm-up leaves the cores' clocks
+	// skewed (slow apps took more cycles for the same instructions). Bring
+	// every core up to the slowest clock, unmeasured, so the measured
+	// windows coincide in wall-clock — otherwise a fast app spends the
+	// start of its window running against co-runners that are "in the
+	// future" and makes no interleaved accesses, under-reporting its
+	// contention. A no-op for a solo app.
+	var start uint64
+	for _, a := range cs.apps {
+		if a.cycles > start {
+			start = a.cycles
+		}
+	}
+	for {
+		best := cs.next(cs.below(start))
+		if best < 0 {
+			break
+		}
+		a := cs.apps[best]
+		st := a.core.Run(a.prog, q)
+		a.cycles += st.Cycles
+	}
+
+	// Measured window: a common cycle horizon, so every app covers the
+	// same wall-clock span at its own (contended) speed.
+	horizon := start + cfg.MeasureCycles
+	for {
+		best := cs.next(cs.below(horizon))
+		if best < 0 {
+			break
+		}
+		a := cs.apps[best]
+		st := a.core.Run(a.prog, q)
+		a.cycles += st.Cycles
+		a.meas.Add(st)
+	}
+
+	res := &CoRunResult{LLCPaperBytes: cfg.LLCPaperBytes}
+	var totalMem uint64
+	for _, a := range cs.apps {
+		totalMem += a.meas.MemAccesses
+	}
+	for _, a := range cs.apps {
+		as := AppSim{Name: a.name, Stats: a.meas, CPI: a.meas.CPI()}
+		if a.meas.MemAccesses > 0 {
+			as.MissRatio = float64(a.meas.MemServed) / float64(a.meas.MemAccesses)
+			as.Dilation = float64(totalMem) / float64(a.meas.MemAccesses)
+		}
+		res.Apps = append(res.Apps, as)
+	}
+	return res
+}
+
+// SimulateCoRun is the convenience one-shot entry point.
+func SimulateCoRun(profs []*workload.Profile, cfg CoSimConfig) *CoRunResult {
+	return NewCoSim(profs, cfg).Run()
+}
+
+// SoloCalibration is everything the StatCC prediction needs about one app,
+// collected from solo runs only — the §4.2 premise is that per-app profiles
+// are gathered separately and contention is *predicted*, never co-simulated.
+type SoloCalibration struct {
+	App           App // Hist, AccessesPerInstr, BaseCPI, MissPenalty
+	SoloCPI       float64
+	SoloMissRatio float64
+}
+
+// SoloProfile is the size-independent part of an app's calibration:
+// everything except the target-size solo run. Collect it once per app with
+// ProfileSolo, then complete a calibration per LLC size with Calibrate —
+// the histogram pass and the three reference simulations (base CPI plus
+// the two penalty points) do not depend on the target LLC.
+type SoloProfile struct {
+	prof *workload.Profile
+	app  App // Hist, AccessesPerInstr, BaseCPI, PenaltyAt (MissPenalty unset)
+}
+
+// Calibrate completes the profile for one target LLC size by running the
+// solo simulation there.
+func (sp SoloProfile) Calibrate(cfg CoSimConfig) SoloCalibration {
+	solo := SimulateCoRun([]*workload.Profile{sp.prof}, cfg).Apps[0]
+	app := sp.app
+	app.MissPenalty = app.PenaltyAt(solo.MissRatio)
+	return SoloCalibration{
+		App:           app,
+		SoloCPI:       solo.CPI,
+		SoloMissRatio: solo.MissRatio,
+	}
+}
+
+// ProfileSolo collects an app's solo reuse profile and calibrates the CPI
+// model against reference simulations:
+//
+//   - an exact reuse-distance histogram over the co-run span (the stand-in
+//     for an Explorer-collected sparse profile),
+//   - BaseCPI from a solo run with an LLC big enough to never miss for
+//     capacity,
+//   - an effective miss-penalty curve from solo runs at two footprint-
+//     relative reference LLC sizes.
+//
+// The effective penalty folds the core's memory-level parallelism into the
+// linear CPI model, so what the co-run validation exercises is StatCC's
+// actual contribution: the dilation → miss-ratio fixed point.
+func ProfileSolo(prof *workload.Profile, cfg CoSimConfig) SoloProfile {
+	// Exact solo reuse histogram over (roughly) the simulated span. The
+	// warm-up portion only primes the monitor: distances recorded there
+	// would count every first touch as cold, but the simulation measures a
+	// warmed cache, so only the post-warm-up window contributes samples
+	// (first touches inside it are genuine cold references).
+	prog := prof.NewProgram(cfg.Scale)
+	mon := reuse.NewExactMonitor()
+	hist := &stats.RDHist{}
+	span := cfg.WarmupInstr + cfg.MeasureCycles
+	var ins workload.Instr
+	for i := uint64(0); i < span; i++ {
+		memIdx := prog.MemIndex()
+		prog.Next(&ins)
+		if ins.Kind != workload.KindLoad && ins.Kind != workload.KindStore {
+			continue
+		}
+		a := mem.Access{PC: ins.PC, Addr: ins.Addr, MemIdx: memIdx}
+		d, seen := mon.Observe(&a)
+		if i < cfg.WarmupInstr {
+			continue
+		}
+		if seen {
+			hist.Add(d)
+		} else {
+			hist.AddCold(1)
+		}
+	}
+	apki := float64(prog.MemIndex()) / float64(prog.InstrIndex())
+
+	// Solo run with a perfect (footprint-sized) LLC for the base CPI.
+	baseCfg := cfg
+	baseCfg.LLCPaperBytes = 2 * prog.Footprint() * cfg.Scale
+	base := SimulateCoRun([]*workload.Profile{prof}, baseCfg).Apps[0]
+
+	// Effective miss penalty from solo runs at two *reference* LLC sizes
+	// below the footprint, so both calibration points have a robust miss
+	// population (calibrating at the target size degenerates whenever the
+	// app fits solo: soloCPI ≈ baseCPI gives a near-0/0 penalty). Two
+	// points matter because the effective per-miss cost is not constant:
+	// dense miss streams overlap across the MSHRs while sparse misses are
+	// fully exposed. The linear fit through the two points, clamped at
+	// their miss ratios, captures that first-order MLP effect.
+	refPoint := func(frac uint64) (missRatio, penalty float64) {
+		refCfg := cfg
+		refCfg.LLCPaperBytes = prog.Footprint() * cfg.Scale / frac
+		if floor := uint64(8<<10) * cfg.Scale; refCfg.LLCPaperBytes < floor {
+			refCfg.LLCPaperBytes = floor
+		}
+		ref := SimulateCoRun([]*workload.Profile{prof}, refCfg).Apps[0]
+		if d := ref.MissRatio * apki; d > 0 && ref.CPI > base.CPI {
+			return ref.MissRatio, (ref.CPI - base.CPI) / d
+		}
+		return 0, 0
+	}
+	m1, p1 := refPoint(4) // small LLC: dense misses
+	m2, p2 := refPoint(2) // half-footprint LLC: sparser misses
+	penaltyAt := func(miss float64) float64 {
+		switch {
+		case p1 == 0:
+			return p2
+		case p2 == 0 || m1 == m2:
+			return p1
+		case miss <= m2:
+			return p2
+		default:
+			// Interpolate between the two points; beyond the dense point
+			// keep extrapolating (co-run miss ratios routinely exceed the
+			// solo calibration range and overlap keeps improving), floored
+			// at half the dense-point penalty.
+			pen := p2 + (p1-p2)*(miss-m2)/(m1-m2)
+			if floor := p1 / 2; pen < floor {
+				pen = floor
+			}
+			return pen
+		}
+	}
+	return SoloProfile{
+		prof: prof,
+		app: App{
+			Name:             prof.Name,
+			Hist:             hist,
+			AccessesPerInstr: apki,
+			BaseCPI:          base.CPI,
+			PenaltyAt:        penaltyAt,
+		},
+	}
+}
+
+// Calibrate is the one-shot convenience: size-independent profiling plus
+// the target-size solo run.
+func Calibrate(prof *workload.Profile, cfg CoSimConfig) SoloCalibration {
+	return ProfileSolo(prof, cfg).Calibrate(cfg)
+}
+
+// Predict runs the StatCC fixed point for a calibrated mix sharing the
+// configured LLC.
+func Predict(cals []SoloCalibration, cfg CoSimConfig) []AppResult {
+	apps := make([]App, len(cals))
+	for i, c := range cals {
+		apps[i] = c.App
+	}
+	return Solve(apps, cfg.LLCLines(), cfg.MaxIters)
+}
+
+// CoRunApp pairs one app's simulated and predicted co-run behaviour.
+type CoRunApp struct {
+	Name          string
+	SimCPI        float64
+	PredCPI       float64
+	SimMissRatio  float64
+	PredMissRatio float64
+	SimDilation   float64
+	PredDilation  float64
+	SoloCPI       float64
+	SoloMissRatio float64
+	BaseCPI       float64
+}
+
+// CPIError returns |pred-sim|/sim (0 when the simulation measured nothing).
+func (a CoRunApp) CPIError() float64 {
+	if a.SimCPI == 0 {
+		return 0
+	}
+	return math.Abs(a.PredCPI-a.SimCPI) / a.SimCPI
+}
+
+// MissError returns the absolute miss-ratio prediction error.
+func (a CoRunApp) MissError() float64 { return math.Abs(a.PredMissRatio - a.SimMissRatio) }
+
+// BuildComparison zips a simulated co-run with its StatCC prediction. The
+// calibrations must be in app order, matching the simulated result.
+func BuildComparison(cals []SoloCalibration, sim *CoRunResult, pred []AppResult) []CoRunApp {
+	out := make([]CoRunApp, len(sim.Apps))
+	for i, s := range sim.Apps {
+		out[i] = CoRunApp{
+			Name:          s.Name,
+			SimCPI:        s.CPI,
+			PredCPI:       pred[i].CPI,
+			SimMissRatio:  s.MissRatio,
+			PredMissRatio: pred[i].MissRatio,
+			SimDilation:   s.Dilation,
+			PredDilation:  pred[i].Dilation,
+			SoloCPI:       cals[i].SoloCPI,
+			SoloMissRatio: cals[i].SoloMissRatio,
+			BaseCPI:       cals[i].App.BaseCPI,
+		}
+	}
+	return out
+}
+
+// CompareCoRun is the one-call validation pipeline: calibrate every app
+// solo, predict the mix with StatCC, simulate the shared-LLC co-run, and
+// return the per-app comparison.
+func CompareCoRun(profs []*workload.Profile, cfg CoSimConfig) []CoRunApp {
+	cals := make([]SoloCalibration, len(profs))
+	for i, p := range profs {
+		cals[i] = Calibrate(p, cfg)
+	}
+	sim := SimulateCoRun(profs, cfg)
+	return BuildComparison(cals, sim, Predict(cals, cfg))
+}

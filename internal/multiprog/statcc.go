@@ -28,6 +28,12 @@ type App struct {
 	BaseCPI float64
 	// MissPenalty is the additional cycles per shared-LLC miss.
 	MissPenalty float64
+	// PenaltyAt, when set, replaces the constant MissPenalty with a
+	// miss-ratio-dependent effective penalty. Out-of-order cores overlap
+	// dense miss streams across their MSHRs but leave sparse misses fully
+	// exposed, so the effective per-miss cost falls as the miss ratio
+	// rises; Calibrate fits this from two solo reference points.
+	PenaltyAt func(missRatio float64) float64
 }
 
 // AppResult is the converged prediction for one application.
@@ -64,14 +70,41 @@ func Solve(apps []App, llcLines uint64, maxIters int) []AppResult {
 			rates[i] = a.AccessesPerInstr / cpi[i]
 			totalRate += rates[i]
 		}
-		maxDelta := 0.0
+		// The shared cache sees the *interleaved* stream: app i's dilated
+		// distribution weighted by its share of the total access rate. The
+		// StatStack model — which turns a reuse window into an expected
+		// unique-line count — must be built from that mixture: an
+		// intervening access is a co-runner's with probability its rate
+		// share, and whether it contributes a unique line depends on the
+		// co-runner's reuse behaviour, not the victim's.
+		dilated := make([]*stats.RDHist, len(apps))
+		mixture := &stats.RDHist{}
 		for i, a := range apps {
 			f := totalRate / rates[i]
 			dil[i] = f
-			dilated := ScaleHist(a.Hist, f)
-			m := statstack.New(dilated)
-			miss[i] = m.MissRatio(dilated, llcLines)
-			next := a.BaseCPI + miss[i]*a.AccessesPerInstr*a.MissPenalty
+			dilated[i] = ScaleHist(a.Hist, f)
+			if w := dilated[i].Weight(); w > 0 {
+				share := rates[i] / totalRate / w
+				dilated[i].Buckets(func(lo, hi uint64, bw float64) {
+					mixture.AddWeighted((lo+hi-1)/2, bw*share)
+				})
+				mixture.AddCold(dilated[i].ColdFraction() * w * share)
+			}
+		}
+		m := statstack.New(mixture)
+		maxDelta := 0.0
+		for i, a := range apps {
+			miss[i] = m.MissRatio(dilated[i], llcLines)
+			pen := a.MissPenalty
+			if a.PenaltyAt != nil {
+				pen = a.PenaltyAt(miss[i])
+			}
+			next := a.BaseCPI + miss[i]*a.AccessesPerInstr*pen
+			// Damped update: the miss-ratio curve can be steep enough at
+			// a capacity knee that the undamped map overshoots between
+			// two states instead of settling on the fixed point between
+			// them.
+			next = 0.5*cpi[i] + 0.5*next
 			if d := math.Abs(next - cpi[i]); d > maxDelta {
 				maxDelta = d
 			}
