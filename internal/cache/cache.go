@@ -75,17 +75,26 @@ func (o Outcome) String() string {
 	return "outcome?"
 }
 
+// way is one cache way: tag and LRU timestamp packed together so a set
+// probe walks one contiguous run of memory instead of parallel slices
+// (the lookup is the single hottest loop in the simulator). age == 0
+// doubles as the invalid marker — the tick counter pre-increments, so a
+// resident line always has age >= 1 — keeping the way at 16 bytes.
+type way struct {
+	tag uint64
+	age uint64
+}
+
 // Cache is one set-associative cache level. The zero value is unusable;
 // call New. Not safe for concurrent use.
 type Cache struct {
-	cfg   Config
-	sets  uint64
-	assoc int
-	tags  []uint64 // sets*assoc entries; tag = line number
-	valid []bool
-	age   []uint64 // LRU timestamps
-	tick  uint64
-	rngSt uint64 // for Random replacement
+	cfg     Config
+	sets    uint64
+	setMask uint64 // sets-1 when sets is a power of two, else 0
+	assoc   int
+	ways    []way // sets*assoc entries
+	tick    uint64
+	rngSt   uint64 // for Random replacement
 
 	// Statistics.
 	NHits, NMisses, NMSHRHits uint64
@@ -99,45 +108,93 @@ func New(cfg Config) *Cache {
 	if assoc <= 0 {
 		assoc = 1
 	}
-	n := sets * uint64(assoc)
-	return &Cache{
+	c := &Cache{
 		cfg:   cfg,
 		sets:  sets,
 		assoc: assoc,
-		tags:  make([]uint64, n),
-		valid: make([]bool, n),
-		age:   make([]uint64, n),
+		ways:  make([]way, sets*uint64(assoc)),
 		rngSt: 0x2545f4914f6cdd1d,
 	}
+	if sets&(sets-1) == 0 {
+		c.setMask = sets - 1
+	}
+	return c
 }
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
-// setOf maps a line to its set index.
-func (c *Cache) setOf(l mem.Line) uint64 { return uint64(l) % c.sets }
+// setOf maps a line to its set index. Every Table 1 geometry has a
+// power-of-two set count, so the common path is a mask, not a division.
+func (c *Cache) setOf(l mem.Line) uint64 {
+	if c.setMask != 0 {
+		return uint64(l) & c.setMask
+	}
+	return uint64(l) % c.sets
+}
 
 // Lookup accesses the cache, updating replacement state and statistics.
 // On a miss the line is installed (write-allocate) and the victim line is
 // returned with evicted=true if a valid line was displaced.
 func (c *Cache) Lookup(l mem.Line) (out Outcome, victim mem.Line, evicted bool) {
 	base := c.setOf(l) * uint64(c.assoc)
+	set := c.ways[base : base+uint64(c.assoc)]
 	c.tick++
-	var emptyWay, lruWay int = -1, 0
-	var lruAge uint64 = ^uint64(0)
-	for w := 0; w < c.assoc; w++ {
-		i := base + uint64(w)
-		if c.valid[i] && c.tags[i] == uint64(l) {
-			c.age[i] = c.tick
+	if c.assoc == 2 {
+		// Two-way specialization: the L1s are 2-way (Table 1) and sit in
+		// front of every access, so this path runs more than any other
+		// loop in the simulator. Branch structure mirrors the general
+		// scan below exactly.
+		e0, e1 := &set[0], &set[1]
+		if e0.tag == uint64(l) && e0.age != 0 {
+			e0.age = c.tick
 			c.NHits++
 			return Hit, 0, false
 		}
-		if !c.valid[i] {
+		if e1.tag == uint64(l) && e1.age != 0 {
+			e1.age = c.tick
+			c.NHits++
+			return Hit, 0, false
+		}
+		c.NMisses++
+		v := e0
+		switch {
+		case e0.age == 0:
+		case e1.age == 0:
+			v = e1
+		default:
+			if c.cfg.Policy == Random {
+				c.rngSt ^= c.rngSt << 13
+				c.rngSt ^= c.rngSt >> 7
+				c.rngSt ^= c.rngSt << 17
+				if c.rngSt&1 != 0 {
+					v = e1
+				}
+			} else if e1.age < e0.age {
+				v = e1
+			}
+			victim, evicted = mem.Line(v.tag), true
+		}
+		*v = way{tag: uint64(l), age: c.tick}
+		return Miss, victim, evicted
+	}
+	var emptyWay, lruWay int = -1, 0
+	var lruAge uint64 = ^uint64(0)
+	for w := range set {
+		e := &set[w]
+		if e.age == 0 {
 			if emptyWay < 0 {
 				emptyWay = w
 			}
-		} else if c.age[i] < lruAge {
-			lruAge = c.age[i]
+			continue
+		}
+		if e.tag == uint64(l) {
+			e.age = c.tick
+			c.NHits++
+			return Hit, 0, false
+		}
+		if e.age < lruAge {
+			lruAge = e.age
 			lruWay = w
 		}
 	}
@@ -152,13 +209,9 @@ func (c *Cache) Lookup(l mem.Line) (out Outcome, victim mem.Line, evicted bool) 
 		} else {
 			w = lruWay
 		}
-		i := base + uint64(w)
-		victim, evicted = mem.Line(c.tags[i]), true
+		victim, evicted = mem.Line(set[w].tag), true
 	}
-	i := base + uint64(w)
-	c.tags[i] = uint64(l)
-	c.valid[i] = true
-	c.age[i] = c.tick
+	set[w] = way{tag: uint64(l), age: c.tick}
 	return Miss, victim, evicted
 }
 
@@ -166,9 +219,9 @@ func (c *Cache) Lookup(l mem.Line) (out Outcome, victim mem.Line, evicted bool) 
 // state or statistics.
 func (c *Cache) Probe(l mem.Line) bool {
 	base := c.setOf(l) * uint64(c.assoc)
-	for w := 0; w < c.assoc; w++ {
-		i := base + uint64(w)
-		if c.valid[i] && c.tags[i] == uint64(l) {
+	set := c.ways[base : base+uint64(c.assoc)]
+	for w := range set {
+		if set[w].tag == uint64(l) && set[w].age != 0 {
 			return true
 		}
 	}
@@ -180,8 +233,9 @@ func (c *Cache) Probe(l mem.Line) bool {
 // certain conflict miss.
 func (c *Cache) SetFull(l mem.Line) bool {
 	base := c.setOf(l) * uint64(c.assoc)
-	for w := 0; w < c.assoc; w++ {
-		if !c.valid[base+uint64(w)] {
+	set := c.ways[base : base+uint64(c.assoc)]
+	for w := range set {
+		if set[w].age == 0 {
 			return false
 		}
 	}
@@ -193,35 +247,33 @@ func (c *Cache) SetFull(l mem.Line) bool {
 // and the line must appear present from then on).
 func (c *Cache) Install(l mem.Line) {
 	base := c.setOf(l) * uint64(c.assoc)
+	set := c.ways[base : base+uint64(c.assoc)]
 	c.tick++
-	var way int = -1
+	var wIdx int = -1
 	var lruAge uint64 = ^uint64(0)
-	for w := 0; w < c.assoc; w++ {
-		i := base + uint64(w)
-		if c.valid[i] && c.tags[i] == uint64(l) {
-			c.age[i] = c.tick
+	for w := range set {
+		e := &set[w]
+		if e.tag == uint64(l) && e.age != 0 {
+			e.age = c.tick
 			return
 		}
-		if !c.valid[i] {
-			way = w
+		if e.age == 0 {
+			wIdx = w
 			break
 		}
-		if c.age[i] < lruAge {
-			lruAge = c.age[i]
-			way = w
+		if e.age < lruAge {
+			lruAge = e.age
+			wIdx = w
 		}
 	}
-	i := base + uint64(way)
-	c.tags[i] = uint64(l)
-	c.valid[i] = true
-	c.age[i] = c.tick
+	set[wIdx] = way{tag: uint64(l), age: c.tick}
 }
 
 // Occupancy returns the number of valid lines (for invariant tests).
 func (c *Cache) Occupancy() uint64 {
 	var n uint64
-	for _, v := range c.valid {
-		if v {
+	for i := range c.ways {
+		if c.ways[i].age != 0 {
 			n++
 		}
 	}
@@ -230,8 +282,8 @@ func (c *Cache) Occupancy() uint64 {
 
 // Reset invalidates the entire cache and clears statistics.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.ways {
+		c.ways[i].age = 0
 	}
 	c.tick = 0
 	c.NHits, c.NMisses, c.NMSHRHits = 0, 0, 0

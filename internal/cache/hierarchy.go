@@ -184,6 +184,12 @@ func (h *Hierarchy) AccessData(a *mem.Access) DataResult {
 	if out == Hit {
 		return DataResult{Latency: h.Cfg.L1D.HitLat, Served: LevelL1, L1: Hit}
 	}
+	return h.accessMiss(a, line)
+}
+
+// accessMiss is the L1-miss tail of AccessData, split out so the L1-hit
+// fast path stays under the inliner's budget.
+func (h *Hierarchy) accessMiss(a *mem.Access, line mem.Line) DataResult {
 	// L1 miss. Does the oracle rule it a warm L1 hit?
 	if h.Oracle != nil && h.Oracle.OverrideMiss(a, LevelL1) {
 		h.WarmingHits++
@@ -202,6 +208,27 @@ func (h *Hierarchy) AccessData(a *mem.Access) DataResult {
 	h.LLCMissCount++
 	h.prefetchObserve(a, true)
 	return DataResult{Latency: h.Cfg.L1D.HitLat + h.Cfg.LLC.HitLat + h.Cfg.MemLat, Served: LevelMem, L1: Miss}
+}
+
+// AccessBatch drives every access of b through AccessData in order,
+// appending the per-access results to out (reused across windows; pass
+// out[:0]). Results, counters and cache state are bit-identical to the
+// access-at-a-time path; the batch records live in the caller's array, so
+// the oracle indirection costs no per-access heap allocation. Works
+// unchanged on a shared-LLC hierarchy (NewSharedHierarchy): callers
+// interleave per-core batches exactly as they would interleave accesses.
+func (h *Hierarchy) AccessBatch(b mem.Batch, out []DataResult) []DataResult {
+	for i := range b {
+		out = append(out, h.AccessData(&b[i]))
+	}
+	return out
+}
+
+// WarmDataBatch functionally warms the data side with every access of b.
+func (h *Hierarchy) WarmDataBatch(b mem.Batch) {
+	for i := range b {
+		h.WarmData(b[i].Line())
+	}
 }
 
 // prefetchObserve feeds the stride prefetcher with LLC-side traffic. The

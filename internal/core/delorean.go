@@ -194,19 +194,18 @@ func (d *DeLorean) ScoutRegion(m int) *RegionData {
 		Vicinity: &stats.RDHist{},
 		Assoc:    statstack.NewAssocModel(),
 	}
-	seen := make(map[mem.Line]struct{}, 256)
+	var seen mem.FlatSet[mem.Line]
+	seen.Grow(256)
 	eng.RunFunc(cfg.RegionLen, false, func(ins *workload.Instr, a *mem.Access) {
 		luke.WarmInstr(ins.FetchLine)
 		if a == nil {
 			return
 		}
 		l := a.Line()
-		_, dup := seen[l]
-		if dup {
+		if !seen.Add(l) {
 			luke.WarmData(l)
 			return
 		}
-		seen[l] = struct{}{}
 		// First in-region access: a lukewarm hit at either level resolves
 		// it; otherwise the line is a key cacheline. Probe before warming —
 		// the access itself installs the line.
@@ -218,7 +217,7 @@ func (d *DeLorean) ScoutRegion(m int) *RegionData {
 		msg.Keys = append(msg.Keys, reuse.KeySpec{Line: l, FirstMem: a.MemIdx})
 	})
 	eng.Counters.Add("fix/keys_total", float64(len(msg.Keys)))
-	eng.Counters.Add("fix/region_unique_lines", float64(len(seen)))
+	eng.Counters.Add("fix/region_unique_lines", float64(seen.Len()))
 	return msg
 }
 
@@ -243,9 +242,10 @@ func (d *DeLorean) ExploreRegion(k int, msg *RegionData) {
 	eng.FastForwardTo(segStart)
 
 	collector := reuse.NewKeyCollector(msg.Keys)
-	keySet := make(map[mem.Line]struct{}, len(msg.Keys))
+	var keySet mem.FlatSet[mem.Line]
+	keySet.Grow(len(msg.Keys))
 	for _, ks := range msg.Keys {
-		keySet[ks.Line] = struct{}{}
+		keySet.Add(ks.Line)
 	}
 	vicinityEvery := cfg.VicinityInterval()
 	sampler := reuse.NewForwardSampler(float64(vicinityEvery), false)
@@ -262,7 +262,7 @@ func (d *DeLorean) ExploreRegion(k int, msg *RegionData) {
 				return
 			}
 			l := a.Line()
-			if _, isKey := keySet[l]; isKey {
+			if keySet.Has(l) {
 				collector.Observe(a)
 			}
 			sampler.Complete(a)
@@ -290,7 +290,7 @@ func (d *DeLorean) ExploreRegion(k int, msg *RegionData) {
 			},
 			OnTrigger: func(a *mem.Access) {
 				l := a.Line()
-				_, isKey := keySet[l]
+				isKey := keySet.Has(l)
 				if isKey {
 					collector.Observe(a)
 				}
@@ -380,6 +380,17 @@ func (d *DeLorean) finish() *Result {
 	}
 	r.AnalystSeconds = cm.Seconds(d.analyst.Counters)
 	return r
+}
+
+// MemAccesses returns the total number of memory accesses generated across
+// all pass programs so far — the work unit the perf harness (internal/perf)
+// normalizes its timings against.
+func (d *DeLorean) MemAccesses() uint64 {
+	n := d.scout.Prog.MemIndex() + d.analyst.Prog.MemIndex()
+	for _, e := range d.explorers {
+		n += e.Prog.MemIndex()
+	}
+	return n
 }
 
 // PassLedgers exposes the per-pass event ledgers ("scout", "explorer-1"..,

@@ -1,8 +1,6 @@
 package cpu
 
 import (
-	"container/heap"
-
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/workload"
@@ -79,19 +77,50 @@ func (s *Stats) Add(o Stats) {
 	s.BrMispred += o.BrMispred
 }
 
-// mshrHeap orders outstanding miss completion times.
+// mshrHeap orders outstanding miss completion times. It is a hand-rolled
+// binary min-heap rather than container/heap because heap.Push boxes every
+// uint64 into an interface — one heap allocation per cache miss on the
+// timing model's hot path.
 type mshrHeap []uint64
 
-func (h mshrHeap) Len() int            { return len(h) }
-func (h mshrHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h mshrHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mshrHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
-func (h *mshrHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *mshrHeap) push(x uint64) {
+	s := append(*h, x)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *mshrHeap) pop() uint64 {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l] < s[min] {
+			min = l
+		}
+		if r < n && s[r] < s[min] {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // Core is the out-of-order dependence-timing model. Per instruction it
@@ -113,7 +142,7 @@ type Core struct {
 	fetchStall  uint64   // cycle until which the front-end is squashed
 	completion  []uint64 // ring buffer of the last ROB completion times
 	head        int
-	outstanding map[mem.Line]uint64 // line -> completion cycle
+	outstanding mem.FlatMap[mem.Line, uint64] // line -> completion cycle
 	mshrFree    mshrHeap
 	maxComplete uint64
 }
@@ -124,13 +153,14 @@ func NewCore(cfg Config, hier *cache.Hierarchy, bp *BranchPred) *Core {
 	if bp == nil {
 		bp = NewBranchPred(cfg.BP)
 	}
-	return &Core{
-		Cfg:         cfg,
-		BP:          bp,
-		Hier:        hier,
-		completion:  make([]uint64, cfg.ROB),
-		outstanding: make(map[mem.Line]uint64, cfg.L1DMSHRs()+1),
+	c := &Core{
+		Cfg:        cfg,
+		BP:         bp,
+		Hier:       hier,
+		completion: make([]uint64, cfg.ROB),
 	}
+	c.outstanding.Grow(4 * cfg.L1DMSHRs())
+	return c
 }
 
 // L1DMSHRs returns the data-cache MSHR count from the hierarchy config.
@@ -194,15 +224,15 @@ func (c *Core) Run(prog *workload.Program, n uint64) Stats {
 			line := mem.LineOf(ins.Addr)
 			// Drain MSHRs whose miss has returned.
 			for len(c.mshrFree) > 0 && c.mshrFree[0] <= ready {
-				heap.Pop(&c.mshrFree)
+				c.mshrFree.pop()
 			}
-			if t, inFlight := c.outstanding[line]; inFlight && t > ready {
+			if t, inFlight := c.outstanding.Get(line); inFlight && t > ready {
 				// Delayed hit: coalesce onto the existing MSHR.
 				st.MSHRHits++
 				complete = t
 			} else {
 				if inFlight {
-					delete(c.outstanding, line)
+					c.outstanding.Delete(line)
 				}
 				acc = mem.Access{PC: ins.PC, Addr: ins.Addr,
 					Write: ins.Kind == workload.KindStore, MemIdx: memIdx, InstrIdx: instrIdx}
@@ -225,12 +255,12 @@ func (c *Core) Run(prog *workload.Program, n uint64) Stats {
 						if t := c.mshrFree[0]; t > issue {
 							issue = t
 						}
-						heap.Pop(&c.mshrFree)
+						c.mshrFree.pop()
 					}
 					complete = issue + uint64(r.Latency)
-					heap.Push(&c.mshrFree, complete)
-					c.outstanding[line] = complete
-					if len(c.outstanding) > 4*mshrs {
+					c.mshrFree.push(complete)
+					c.outstanding.Put(line, complete)
+					if c.outstanding.Len() > 4*mshrs {
 						c.pruneOutstanding(ready)
 					}
 				} else {
@@ -273,11 +303,7 @@ func (c *Core) Run(prog *workload.Program, n uint64) Stats {
 	return st
 }
 
-// pruneOutstanding drops completed in-flight entries (bounded map size).
+// pruneOutstanding drops completed in-flight entries (bounded table size).
 func (c *Core) pruneOutstanding(now uint64) {
-	for l, t := range c.outstanding {
-		if t <= now {
-			delete(c.outstanding, l)
-		}
-	}
+	c.outstanding.DeleteIf(func(_ mem.Line, t uint64) bool { return t <= now })
 }

@@ -279,32 +279,28 @@ func (sp SoloProfile) Calibrate(cfg CoSimConfig) SoloCalibration {
 // linear CPI model, so what the co-run validation exercises is StatCC's
 // actual contribution: the dilation → miss-ratio fixed point.
 func ProfileSolo(prof *workload.Profile, cfg CoSimConfig) SoloProfile {
-	// Exact solo reuse histogram over (roughly) the simulated span. The
-	// warm-up portion only primes the monitor: distances recorded there
-	// would count every first touch as cold, but the simulation measures a
-	// warmed cache, so only the post-warm-up window contributes samples
-	// (first touches inside it are genuine cold references).
+	// Exact solo reuse histogram over (roughly) the simulated span, run
+	// through the batched trace→monitor pipeline. The warm-up portion only
+	// primes the monitor: distances recorded there would count every first
+	// touch as cold, but the simulation measures a warmed cache, so only
+	// the post-warm-up window contributes samples (first touches inside it
+	// are genuine cold references) — the InstrIdx filter below, identical
+	// in effect to gating the old access-at-a-time loop on its counter.
 	prog := prof.NewProgram(cfg.Scale)
 	mon := reuse.NewExactMonitor()
 	hist := &stats.RDHist{}
 	span := cfg.WarmupInstr + cfg.MeasureCycles
-	var ins workload.Instr
-	for i := uint64(0); i < span; i++ {
-		memIdx := prog.MemIndex()
-		prog.Next(&ins)
-		if ins.Kind != workload.KindLoad && ins.Kind != workload.KindStore {
-			continue
+	const chunk = 8192
+	batch := make(mem.Batch, 0, chunk)
+	for done := uint64(0); done < span; {
+		n := span - done
+		if n > chunk {
+			n = chunk
 		}
-		a := mem.Access{PC: ins.PC, Addr: ins.Addr, MemIdx: memIdx}
-		d, seen := mon.Observe(&a)
-		if i < cfg.WarmupInstr {
-			continue
-		}
-		if seen {
-			hist.Add(d)
-		} else {
-			hist.AddCold(1)
-		}
+		batch.Reset()
+		prog.FillBatch(n, &batch)
+		mon.ObserveHist(batch, hist, cfg.WarmupInstr)
+		done += n
 	}
 	apki := float64(prog.MemIndex()) / float64(prog.InstrIndex())
 

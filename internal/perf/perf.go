@@ -1,0 +1,174 @@
+// Package perf is the repository's performance harness: a set of named
+// end-to-end scenarios covering the simulation hot paths (solo
+// trace→cache→reuse pipeline, a shared-LLC co-run matrix cell, the DSE
+// Analyst fan-out, key-reuse exploration) and a measurement loop that
+// reports ns/access, allocs/access and accesses/sec for each.
+//
+// cmd/bench drives the harness and persists the results as JSON
+// (BENCH_baseline.json / BENCH_after.json at the repo root record the perf
+// trajectory of the batching PR; CI re-runs the quick mode and fails on
+// regression). Every future perf PR extends this file with new scenarios
+// rather than inventing one-off timing loops.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Schema identifies the BENCH_*.json layout; bump on incompatible change.
+const Schema = "delorean-bench/v1"
+
+// Measurement is one scenario's aggregate over the measured repetitions.
+// The work unit is one simulated memory access driven through the
+// scenario's hot path; wall time includes everything a real caller pays
+// (trace generation, fast-forwarding, model bookkeeping), so ns/access is
+// an end-to-end figure, not a microbenchmark of one function.
+type Measurement struct {
+	Scenario        string  `json:"scenario"`
+	Reps            int     `json:"reps"`
+	Accesses        uint64  `json:"accesses"`
+	WallNs          int64   `json:"wall_ns"`
+	NsPerAccess     float64 `json:"ns_per_access"`
+	AccessesPerSec  float64 `json:"accesses_per_sec"`
+	AllocsPerAccess float64 `json:"allocs_per_access"`
+	BytesPerAccess  float64 `json:"bytes_per_access"`
+}
+
+// Report is the persisted form of one harness run.
+type Report struct {
+	Schema    string        `json:"schema"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Quick     bool          `json:"quick"`
+	Scenarios []Measurement `json:"scenarios"`
+}
+
+// Scenario is one named end-to-end experiment.
+type Scenario struct {
+	Name string
+	Desc string
+	// Setup builds all scenario state (sized for quick or full mode) and
+	// returns the per-repetition step function. Each step processes one
+	// steady-state window — construction cost lives in Setup or inside the
+	// step, whichever matches how real callers amortize it — and returns
+	// the number of memory accesses it drove.
+	Setup func(quick bool) func() uint64
+}
+
+// Run measures one scenario: a warm-up repetition (faults in tables and
+// sizes the flat structures so the measured window is steady state), then
+// repetitions until targetDur has elapsed (at least two).
+func Run(s Scenario, quick bool, targetDur time.Duration) Measurement {
+	step := s.Setup(quick)
+	step() // warm-up repetition, unmeasured
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	var accesses uint64
+	reps := 0
+	for {
+		accesses += step()
+		reps++
+		if reps >= 2 && time.Since(t0) >= targetDur {
+			break
+		}
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	m := Measurement{
+		Scenario: s.Name,
+		Reps:     reps,
+		Accesses: accesses,
+		WallNs:   wall.Nanoseconds(),
+	}
+	if accesses > 0 {
+		acc := float64(accesses)
+		m.NsPerAccess = float64(wall.Nanoseconds()) / acc
+		m.AccessesPerSec = acc / wall.Seconds()
+		m.AllocsPerAccess = float64(after.Mallocs-before.Mallocs) / acc
+		m.BytesPerAccess = float64(after.TotalAlloc-before.TotalAlloc) / acc
+	}
+	return m
+}
+
+// RunAll measures the given scenarios and assembles a report.
+func RunAll(scens []Scenario, quick bool, targetDur time.Duration) *Report {
+	r := &Report{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     quick,
+	}
+	for _, s := range scens {
+		r.Scenarios = append(r.Scenarios, Run(s, quick, targetDur))
+	}
+	return r
+}
+
+// WriteJSON persists the report.
+func (r *Report) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadReport reads a persisted report.
+func LoadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Find returns the named scenario measurement.
+func (r *Report) Find(name string) (Measurement, bool) {
+	for _, m := range r.Scenarios {
+		if m.Scenario == name {
+			return m, true
+		}
+	}
+	return Measurement{}, false
+}
+
+// Regression is one scenario that got slower than a reference allows.
+type Regression struct {
+	Scenario string
+	RefNs    float64
+	CurNs    float64
+}
+
+func (g Regression) String() string {
+	return fmt.Sprintf("%s: %.1f ns/access vs reference %.1f (%.0f%% slower)",
+		g.Scenario, g.CurNs, g.RefNs, (g.CurNs/g.RefNs-1)*100)
+}
+
+// Compare returns the scenarios of cur whose ns/access regressed more than
+// maxRegress (a fraction, e.g. 0.20) relative to ref. Scenarios missing
+// from either side are skipped: the gate only judges common ground.
+func Compare(ref, cur *Report, maxRegress float64) []Regression {
+	var out []Regression
+	for _, c := range cur.Scenarios {
+		r, ok := ref.Find(c.Scenario)
+		if !ok || r.NsPerAccess <= 0 {
+			continue
+		}
+		if c.NsPerAccess > r.NsPerAccess*(1+maxRegress) {
+			out = append(out, Regression{Scenario: c.Scenario, RefNs: r.NsPerAccess, CurNs: c.NsPerAccess})
+		}
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+package perf
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/multiprog"
+	"repro/internal/reuse"
+	"repro/internal/stats"
+	"repro/internal/vm"
+	"repro/internal/warm"
+	"repro/internal/workload"
+)
+
+// Scenarios returns the standard suite in reporting order.
+func Scenarios() []Scenario {
+	return []Scenario{SoloPipeline(), CorunCell(), DSEFanout(), KeyReuse()}
+}
+
+// Named returns the scenarios matching the given names (nil names = all).
+func Named(names []string) []Scenario {
+	all := Scenarios()
+	if len(names) == 0 {
+		return all
+	}
+	var out []Scenario
+	for _, n := range names {
+		for _, s := range all {
+			if s.Name == n {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// SoloPipeline is the core hot path of every methodology: deterministic
+// trace generation feeding the three-level hierarchy and an exact reuse
+// monitor whose distances accumulate into a histogram — the ProfileSolo /
+// Explorer-1 inner loop, run through the mem.Batch pipeline. Steady
+// state: the batch, the result slices and the monitor's flat table are all
+// reused across repetitions, so this scenario is the allocs/access
+// headline (BENCH_baseline.json holds the pre-batching numbers for the
+// same simulated work).
+func SoloPipeline() Scenario {
+	return Scenario{
+		Name: "solo-pipeline",
+		Desc: "batched trace gen -> hierarchy -> exact reuse monitor -> histogram",
+		Setup: func(quick bool) func() uint64 {
+			window := uint64(4 << 20)
+			if quick {
+				window = 1 << 20
+			}
+			const chunk = 8192
+			prog := workload.GemsFDTD().NewProgram(64)
+			hier := cache.NewHierarchy(cache.DefaultHierarchy(8<<20, 64), nil)
+			mon := reuse.NewExactMonitor()
+			hist := &stats.RDHist{}
+			batch := make(mem.Batch, 0, chunk)
+			results := make([]cache.DataResult, 0, chunk)
+			return func() uint64 {
+				start := prog.MemIndex()
+				for done := uint64(0); done < window; done += chunk {
+					batch.Reset()
+					prog.FillBatch(chunk, &batch)
+					results = hier.AccessBatch(batch, results[:0])
+					mon.ObserveHist(batch, hist, 0)
+				}
+				return prog.MemIndex() - start
+			}
+		},
+	}
+}
+
+// CorunCell is one cell of the co-run validation matrix: a full 4-core
+// shared-LLC simulation (construction, warm-up, alignment, measurement)
+// exactly as figures.CoRunMatrix pays it per (mix × LLC size) point.
+// Accesses are counted over the measured windows; ns/access therefore
+// includes the warm-up overhead, matching the matrix cell's real cost.
+func CorunCell() Scenario {
+	return Scenario{
+		Name: "corun-cell",
+		Desc: "4-core shared-LLC co-run simulation, one matrix cell",
+		Setup: func(quick bool) func() uint64 {
+			cfg := multiprog.DefaultCoSimConfig()
+			if quick {
+				cfg.WarmupInstr = 50_000
+				cfg.MeasureCycles = 200_000
+			}
+			profs := []*workload.Profile{
+				workload.Mcf(), workload.Lbm(), workload.Omnetpp(), workload.Xalancbmk(),
+			}
+			return func() uint64 {
+				res := multiprog.SimulateCoRun(profs, cfg)
+				var n uint64
+				for _, a := range res.Apps {
+					n += a.Stats.MemAccesses
+				}
+				return n
+			}
+		},
+	}
+}
+
+// DSEFanout is the §3.3 amortization workload: one Scout + Explorer
+// warm-up feeding three Analysts at different LLC sizes, one region per
+// repetition. The fast-forwarded gap dominates, exactly as in the paper.
+func DSEFanout() Scenario {
+	return Scenario{
+		Name: "dse-fanout",
+		Desc: "one warm-up region fanned out to 3 Analyst LLC sizes",
+		Setup: func(quick bool) func() uint64 {
+			prof := workload.CactusADM()
+			cfg := warm.DefaultConfig()
+			cfg.Scale = 256
+			if quick {
+				cfg.Scale = 1024
+			}
+			sizes := []uint64{1 << 20, 8 << 20, 64 << 20}
+			scoutCfg := cfg
+			scoutCfg.LLCPaperBytes = sizes[0]
+			d := core.New(prof, scoutCfg)
+
+			analysts := make([]*vm.Engine, len(sizes))
+			cfgs := make([]warm.Config, len(sizes))
+			for i, s := range sizes {
+				analysts[i] = vm.NewEngine(prof.NewProgram(cfg.Scale))
+				cfgs[i] = cfg
+				cfgs[i].LLCPaperBytes = s
+			}
+			m := 0
+			return func() uint64 {
+				start := d.MemAccesses()
+				for _, e := range analysts {
+					start += e.Prog.MemIndex()
+				}
+				rd := d.ScoutRegion(m)
+				for k := range cfg.ExplorerWindows {
+					d.ExploreRegion(k, rd)
+				}
+				records := rd.AllRecords()
+				for i, eng := range analysts {
+					sizeCfg := cfgs[i]
+					eng.Prop = true
+					eng.FastForwardTo(rd.Start - sizeCfg.DetailWarm)
+					hier := cache.NewHierarchy(sizeCfg.HierConfig(), nil)
+					cr := cpu.NewCore(sizeCfg.CPU, hier, nil)
+					oracle := warm.NewDSWOracle(records, rd.Vicinity, rd.Assoc, hier)
+					warm.EvalRegion(sizeCfg, eng, cr, oracle)
+				}
+				m++
+				end := d.MemAccesses()
+				for _, e := range analysts {
+					end += e.Prog.MemIndex()
+				}
+				return end - start
+			}
+		},
+	}
+}
+
+// KeyReuse is the directed-profiling loop in isolation: a Scout pass picks
+// the key cachelines of a detailed region, then an Explorer pass runs
+// virtualized directed profiling over the window before it — page-grained
+// watchpoint checks on every access, key-reuse collection, sparse vicinity
+// sampling. The watchpoint set is reused (Clear) across repetitions, as
+// the Explorer reuses it across regions.
+func KeyReuse() Scenario {
+	return Scenario{
+		Name: "key-reuse",
+		Desc: "Scout key extraction + Explorer VDP window over armed watchpoints",
+		Setup: func(quick bool) func() uint64 {
+			prof := workload.Zeusmp()
+			cfg := warm.DefaultConfig()
+			cfg.Scale = 256
+			if quick {
+				cfg.Scale = 1024
+			}
+			scout := vm.NewEngine(prof.NewProgram(cfg.Scale))
+			exp := vm.NewEngine(prof.NewProgram(cfg.Scale))
+			wps := vm.NewWatchpoints()
+			window := cfg.Gap() / 8
+			vicinityEvery := cfg.VicinityInterval()
+			m := 0
+			return func() uint64 {
+				start := scout.Prog.MemIndex() + exp.Prog.MemIndex()
+				regionStart := cfg.RegionStart(m)
+				m++
+
+				// Scout: first-touch unique lines of the detailed region.
+				scout.Prop = true
+				scout.FastForwardTo(regionStart)
+				var keys []reuse.KeySpec
+				var seen mem.FlatSet[mem.Line]
+				seen.Grow(256)
+				scout.RunFunc(cfg.RegionLen, false, func(ins *workload.Instr, a *mem.Access) {
+					if a == nil {
+						return
+					}
+					if l := a.Line(); seen.Add(l) {
+						keys = append(keys, reuse.KeySpec{Line: l, FirstMem: a.MemIdx})
+					}
+				})
+
+				// Explorer: VDP over the window before the region with all
+				// key watchpoints armed for the whole span.
+				exp.Prop = true
+				exp.FastForwardTo(regionStart - window)
+				for _, ks := range keys {
+					wps.Watch(ks.Line)
+				}
+				collector := reuse.NewKeyCollector(keys)
+				var keySet mem.FlatSet[mem.Line]
+				keySet.Grow(len(keys))
+				for _, ks := range keys {
+					keySet.Add(ks.Line)
+				}
+				sampler := reuse.NewForwardSampler(float64(vicinityEvery), false)
+				exp.RunVDP(window, &vm.VDPConfig{
+					WPs:           wps,
+					TriggersFixed: true,
+					SampleEvery:   vicinityEvery,
+					OnSample: func(a *mem.Access) {
+						if sampler.Start(a) {
+							wps.Watch(a.Line())
+						}
+					},
+					OnTrigger: func(a *mem.Access) {
+						l := a.Line()
+						isKey := keySet.Has(l)
+						if isKey {
+							collector.Observe(a)
+						}
+						if sampler.Complete(a) && !isKey {
+							wps.Unwatch(l)
+						}
+					},
+				})
+				sampler.AbandonPending(true)
+				collector.Finalize(1)
+				wps.Clear()
+				return scout.Prog.MemIndex() + exp.Prog.MemIndex() - start
+			}
+		},
+	}
+}

@@ -1,0 +1,168 @@
+package reuse
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// mapMonitor is the original map-backed exact monitor, kept as the
+// reference oracle for the flat-table implementation.
+type mapMonitor struct {
+	last map[mem.Line]uint64
+}
+
+func (m *mapMonitor) observe(l mem.Line, memIdx uint64) (uint64, bool) {
+	prev, ok := m.last[l]
+	m.last[l] = memIdx
+	if !ok {
+		return 0, false
+	}
+	return memIdx - prev, true
+}
+
+// TestExactMonitorMatchesMapReference drives the flat-table monitor and
+// the map reference through the same trace.
+func TestExactMonitorMatchesMapReference(t *testing.T) {
+	prog := workload.Mcf().NewProgram(64)
+	var batch mem.Batch
+	prog.FillBatch(300_000, &batch)
+
+	mon := NewExactMonitor()
+	ref := &mapMonitor{last: make(map[mem.Line]uint64)}
+	for i := range batch {
+		gd, gs := mon.Observe(&batch[i])
+		wd, ws := ref.observe(batch[i].Line(), batch[i].MemIdx)
+		if gd != wd || gs != ws {
+			t.Fatalf("access %d: flat (%d,%v), map reference (%d,%v)", i, gd, gs, wd, ws)
+		}
+	}
+	if mon.Len() != len(ref.last) {
+		t.Fatalf("Len=%d, reference %d", mon.Len(), len(ref.last))
+	}
+	for l, idx := range ref.last {
+		if got, ok := mon.LastAccess(l); !ok || got != idx {
+			t.Fatalf("LastAccess(%#x)=(%d,%v), reference %d", l, got, ok, idx)
+		}
+	}
+}
+
+// TestObserveBatchMatchesObserve pins the batched observation APIs to the
+// per-access one: ObserveBatch samples and ObserveHist histograms must be
+// bit-identical to an Observe loop.
+func TestObserveBatchMatchesObserve(t *testing.T) {
+	prog := workload.GemsFDTD().NewProgram(64)
+	var batch mem.Batch
+	prog.FillBatch(200_000, &batch)
+	minInstr := batch[len(batch)/3].InstrIdx // exercise the warm-up gate
+
+	ref := NewExactMonitor()
+	wantHist := &stats.RDHist{}
+	var want []Sample
+	for i := range batch {
+		d, s := ref.Observe(&batch[i])
+		want = append(want, Sample{Dist: d, Seen: s})
+		if batch[i].InstrIdx < minInstr {
+			continue
+		}
+		if s {
+			wantHist.Add(d)
+		} else {
+			wantHist.AddCold(1)
+		}
+	}
+
+	mb := NewExactMonitor()
+	got := mb.ObserveBatch(batch, nil)
+	if len(got) != len(want) {
+		t.Fatalf("%d batched samples, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+
+	mh := NewExactMonitor()
+	gotHist := &stats.RDHist{}
+	for lo := 0; lo < len(batch); { // uneven chunks
+		hi := lo + 1 + (lo*5)%997
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		mh.ObserveHist(batch[lo:hi], gotHist, minInstr)
+		lo = hi
+	}
+	if *gotHist != *wantHist {
+		t.Fatalf("ObserveHist diverged: %v vs %v", gotHist, wantHist)
+	}
+}
+
+// TestKeyCollectorObserveBatch pins the batched trigger path to the
+// per-access one.
+func TestKeyCollectorObserveBatch(t *testing.T) {
+	prog := workload.Perlbench().NewProgram(64)
+	var batch mem.Batch
+	prog.FillBatch(50_000, &batch)
+	var keys []KeySpec
+	seen := map[mem.Line]bool{}
+	for i := range batch {
+		if l := batch[i].Line(); !seen[l] && len(keys) < 64 {
+			seen[l] = true
+			keys = append(keys, KeySpec{Line: l, FirstMem: 1 << 40})
+		}
+	}
+
+	ka := NewKeyCollector(keys)
+	for i := range batch {
+		ka.Observe(&batch[i])
+	}
+	kb := NewKeyCollector(keys)
+	kb.ObserveBatch(batch)
+
+	fa, ma := ka.Finalize(2)
+	fb, mb := kb.Finalize(2)
+	if len(fa) != len(fb) || len(ma) != len(mb) {
+		t.Fatalf("finalize shapes differ: (%d,%d) vs (%d,%d)", len(fb), len(mb), len(fa), len(ma))
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, fb[i], fa[i])
+		}
+	}
+}
+
+// TestMonitorSteadyStateAllocs: once a monitor's table covers its working
+// set, batched observation allocates nothing. The profile's footprint is
+// small enough that the warm-up pass certainly touches every line, so the
+// measured windows cannot grow the table.
+func TestMonitorSteadyStateAllocs(t *testing.T) {
+	prof := &workload.Profile{
+		Name: "tiny", MemRatio: 0.4, BranchRatio: 0.1, FPFrac: 0.3,
+		LoopDuty: 16, ILP: 4, CodeKiB: 8, Seed: 9,
+		Streams: []workload.StreamSpec{
+			{Kind: workload.Seq, Weight: 0.5, PaperBytes: 1 << 20, PCs: 8, WriteFrac: 0.3, Burst: 2},
+			{Kind: workload.Rand, Weight: 0.5, PaperBytes: 1 << 20, PCs: 8, WriteFrac: 0.3},
+		},
+	}
+	prog := prof.NewProgram(64)
+	mon := NewExactMonitor()
+	hist := &stats.RDHist{}
+	batch := make(mem.Batch, 0, 4096)
+	// Warm-up pass sizes the table over the full footprint.
+	for i := 0; i < 200; i++ {
+		batch.Reset()
+		prog.FillBatch(4096, &batch)
+		mon.ObserveHist(batch, hist, 0)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		batch.Reset()
+		prog.FillBatch(4096, &batch)
+		mon.ObserveHist(batch, hist, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state monitor pipeline allocated %.2f times per window", allocs)
+	}
+}

@@ -7,6 +7,11 @@
 // Reuse distance is measured in memory accesses between two accesses to
 // the same cacheline, following Eklov & Hagersten; stack-distance
 // conversion lives in internal/statstack.
+//
+// All three collectors sit on the simulation hot path, so their line
+// indexes are open-addressing flat tables (mem.FlatMap) rather than Go
+// maps, and each exposes a batched Observe for the mem.Batch pipeline; the
+// map-backed equivalents survive only as reference oracles in the tests.
 package reuse
 
 import (
@@ -19,34 +24,75 @@ import (
 // of watching every line at once — affordable only in functional
 // simulation (Explorer-1) or tests.
 type ExactMonitor struct {
-	last map[mem.Line]uint64
+	last mem.FlatMap[mem.Line, uint64]
 }
 
 // NewExactMonitor returns an empty monitor.
 func NewExactMonitor() *ExactMonitor {
-	return &ExactMonitor{last: make(map[mem.Line]uint64)}
+	return &ExactMonitor{}
 }
 
 // Observe records access a and returns its backward reuse distance (in
 // memory accesses) and whether the line had been seen before.
 func (m *ExactMonitor) Observe(a *mem.Access) (dist uint64, seen bool) {
-	l := a.Line()
-	prev, ok := m.last[l]
-	m.last[l] = a.MemIdx
-	if !ok {
+	return m.ObserveLine(a.Line(), a.MemIdx)
+}
+
+// ObserveLine is Observe for callers that already split the access.
+func (m *ExactMonitor) ObserveLine(l mem.Line, memIdx uint64) (dist uint64, seen bool) {
+	p, inserted := m.last.Upsert(l)
+	prev := *p
+	*p = memIdx
+	if inserted {
 		return 0, false
 	}
-	return a.MemIdx - prev, true
+	return memIdx - prev, true
+}
+
+// Sample is one batched monitor observation.
+type Sample struct {
+	Dist uint64
+	Seen bool
+}
+
+// ObserveBatch observes every access of b in order, appending one Sample
+// per access to out (reused across windows; pass out[:0]). Results are
+// bit-identical to calling Observe per record.
+func (m *ExactMonitor) ObserveBatch(b mem.Batch, out []Sample) []Sample {
+	for i := range b {
+		d, s := m.ObserveLine(b[i].Line(), b[i].MemIdx)
+		out = append(out, Sample{Dist: d, Seen: s})
+	}
+	return out
+}
+
+// ObserveHist observes every access of b in order, accumulating each
+// distance straight into hist — the fused monitor→histogram stage of the
+// batched pipeline, which skips materializing per-access Samples when the
+// caller only wants the distribution. Accesses with InstrIdx < minInstr
+// still update the monitor but are not recorded (the calibration loops'
+// warm-up gating; pass 0 to record everything).
+func (m *ExactMonitor) ObserveHist(b mem.Batch, hist *stats.RDHist, minInstr uint64) {
+	for i := range b {
+		d, seen := m.ObserveLine(b[i].Line(), b[i].MemIdx)
+		if b[i].InstrIdx < minInstr {
+			continue
+		}
+		if seen {
+			hist.Add(d)
+		} else {
+			hist.AddCold(1)
+		}
+	}
 }
 
 // LastAccess returns the most recent access index of line l.
 func (m *ExactMonitor) LastAccess(l mem.Line) (uint64, bool) {
-	v, ok := m.last[l]
-	return v, ok
+	return m.last.Get(l)
 }
 
 // Len returns the number of distinct lines observed.
-func (m *ExactMonitor) Len() int { return len(m.last) }
+func (m *ExactMonitor) Len() int { return m.last.Len() }
 
 // KeySpec identifies one key cacheline: a unique line referenced in the
 // detailed region, together with the memory-access index of its *first*
@@ -76,25 +122,34 @@ type KeyRecord struct {
 // are paid per key line, only the last one matters), then Finalize turns
 // last-access indexes into key reuse distances.
 type KeyCollector struct {
-	last map[mem.Line]uint64
+	last mem.FlatMap[mem.Line, uint64]
 	keys []KeySpec
 }
 
 // NewKeyCollector tracks the given key lines.
 func NewKeyCollector(keys []KeySpec) *KeyCollector {
-	return &KeyCollector{last: make(map[mem.Line]uint64, len(keys)), keys: keys}
+	k := &KeyCollector{keys: keys}
+	k.last.Grow(len(keys))
+	return k
 }
 
 // Observe records a true-positive watchpoint trigger on a key line.
 func (k *KeyCollector) Observe(a *mem.Access) {
-	k.last[a.Line()] = a.MemIdx
+	k.last.Put(a.Line(), a.MemIdx)
+}
+
+// ObserveBatch records a batch of true-positive triggers in order.
+func (k *KeyCollector) ObserveBatch(b mem.Batch) {
+	for i := range b {
+		k.last.Put(b[i].Line(), b[i].MemIdx)
+	}
 }
 
 // Finalize converts observations into key records. Lines never observed
 // are returned in missing, to be handed to the next Explorer.
 func (k *KeyCollector) Finalize(explorer int) (found []KeyRecord, missing []KeySpec) {
 	for _, ks := range k.keys {
-		if idx, ok := k.last[ks.Line]; ok {
+		if idx, ok := k.last.Get(ks.Line); ok {
 			found = append(found, KeyRecord{Line: ks.Line, FirstMem: ks.FirstMem,
 				Dist: ks.FirstMem - idx, Found: true, Explorer: explorer})
 		} else {
@@ -109,7 +164,7 @@ func (k *KeyCollector) Finalize(explorer int) (found []KeyRecord, missing []KeyS
 // completes the sample with the observed distance. RSW uses it for its
 // whole profile; DSW uses it (sparsely) for the vicinity distribution.
 type ForwardSampler struct {
-	pending map[mem.Line]pendingSample
+	pending mem.FlatMap[mem.Line, pendingSample]
 	// Hist accumulates completed samples; PerPC optionally accumulates
 	// per-load-PC histograms (RSW's statistical model is per-PC, §2.3).
 	Hist  *stats.RDHist
@@ -130,9 +185,8 @@ type pendingSample struct {
 // NewForwardSampler returns a sampler; perPC enables per-PC histograms.
 func NewForwardSampler(weight float64, perPC bool) *ForwardSampler {
 	fs := &ForwardSampler{
-		pending: make(map[mem.Line]pendingSample),
-		Hist:    &stats.RDHist{},
-		Weight:  weight,
+		Hist:   &stats.RDHist{},
+		Weight: weight,
 	}
 	if perPC {
 		fs.PerPC = make(map[uint64]*stats.RDHist)
@@ -143,11 +197,11 @@ func NewForwardSampler(weight float64, perPC bool) *ForwardSampler {
 // Start arms a sample at access a (idempotent per line: an already-armed
 // line keeps its earlier start, mirroring one watchpoint per address).
 func (f *ForwardSampler) Start(a *mem.Access) bool {
-	l := a.Line()
-	if _, dup := f.pending[l]; dup {
+	p, inserted := f.pending.Upsert(a.Line())
+	if !inserted {
 		return false
 	}
-	f.pending[l] = pendingSample{startMem: a.MemIdx, pc: a.PC}
+	*p = pendingSample{startMem: a.MemIdx, pc: a.PC}
 	f.Started++
 	return true
 }
@@ -157,11 +211,12 @@ func (f *ForwardSampler) Start(a *mem.Access) bool {
 // PC (the PC whose reuse behaviour the model needs).
 func (f *ForwardSampler) Complete(a *mem.Access) bool {
 	l := a.Line()
-	p, ok := f.pending[l]
-	if !ok {
+	pp := f.pending.Ptr(l)
+	if pp == nil {
 		return false
 	}
-	delete(f.pending, l)
+	p := *pp
+	f.pending.Delete(l)
 	d := a.MemIdx - p.startMem
 	f.Hist.AddWeighted(d, f.Weight)
 	if f.PerPC != nil {
@@ -178,22 +233,24 @@ func (f *ForwardSampler) Complete(a *mem.Access) bool {
 
 // PendingLines returns the lines with armed, unresolved samples.
 func (f *ForwardSampler) PendingLines() []mem.Line {
-	out := make([]mem.Line, 0, len(f.pending))
-	for l := range f.pending {
+	out := make([]mem.Line, 0, f.pending.Len())
+	f.pending.Range(func(l mem.Line, _ pendingSample) bool {
 		out = append(out, l)
-	}
+		return true
+	})
 	return out
 }
 
 // AbandonPending drops unresolved samples, optionally recording them as
 // "no reuse within horizon" cold entries (RSW does at region boundaries).
+// The pending table's storage is retained for the next window.
 func (f *ForwardSampler) AbandonPending(recordCold bool) int {
-	n := len(f.pending)
+	n := f.pending.Len()
 	if recordCold {
-		for range f.pending {
+		for i := 0; i < n; i++ {
 			f.Hist.AddCold(f.Weight)
 		}
 	}
-	f.pending = make(map[mem.Line]pendingSample)
+	f.pending.Reset()
 	return n
 }

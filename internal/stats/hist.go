@@ -39,17 +39,28 @@ type RDHist struct {
 // (distances [2^oct, 2^(oct+1))) the sub-bucket width is
 // max(1, 2^oct/SubBuckets); octaves narrower than SubBuckets therefore use
 // fewer than SubBuckets effective buckets and leave the rest empty.
+// subShift is log2(SubBuckets): the sub-bucket division reduces to a shift
+// because both the octave base and SubBuckets are powers of two — this
+// function runs once per observed reuse distance, so no division allowed.
+// Both guards underflow a uint64 conversion unless 1<<subShift == SubBuckets.
+const (
+	subShift = 2
+	_        = uint64(SubBuckets - 1<<subShift)
+	_        = uint64(1<<subShift - SubBuckets)
+)
+
 func bucketOf(d uint64) int {
 	if d < 2 {
 		return 0
 	}
 	oct := bits.Len64(d) - 1 // floor(log2 d), >= 1
 	base := uint64(1) << uint(oct)
-	step := base / SubBuckets
-	if step == 0 {
-		step = 1
+	var sub uint64
+	if oct >= subShift {
+		sub = (d - base) >> uint(oct-subShift)
+	} else {
+		sub = d - base // octave narrower than SubBuckets: unit steps
 	}
-	sub := (d - base) / step
 	if sub > SubBuckets-1 {
 		sub = SubBuckets - 1
 	}

@@ -26,6 +26,7 @@ package statstack
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/stats"
@@ -61,13 +62,11 @@ func New(h *stats.RDHist) *Model {
 	if len(bounds) == 0 {
 		return m
 	}
-	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
-	uniq := bounds[:1]
-	for _, b := range bounds[1:] {
-		if b != uniq[len(uniq)-1] {
-			uniq = append(uniq, b)
-		}
-	}
+	// slices.Sort/Compact specialize on uint64 — the reflection-driven
+	// sort.Slice showed up in calibration-path profiles (a model is built
+	// per region per PC under RSW).
+	slices.Sort(bounds)
+	uniq := slices.Compact(bounds)
 	if uniq[0] != 0 {
 		uniq = append([]uint64{0}, uniq...)
 	}

@@ -79,72 +79,82 @@ func (cm CostModel) Seconds(c *stats.Counters) float64 {
 	return s
 }
 
+// The paged bitmap representation below packs one page's watched lines
+// into a single uint64, which requires exactly 64 cachelines per page.
+// Both constants underflow a uint64 conversion unless LinesPerPage == 64.
+const (
+	_ = uint64(mem.LinesPerPage - 64)
+	_ = uint64(64 - mem.LinesPerPage)
+)
+
 // Watchpoints tracks watched cachelines, indexed by page — the paper's
 // directed-profiling mechanism uses the page-protection hardware, so *any*
 // access to a page containing a watched line triggers a stop.
+//
+// The page index is an open-addressing flat table mapping each watched
+// page to a 64-bit bitmap of its watched lines, so the per-access
+// WatchedPage check on the VDP hot path is a single probe and the
+// per-window Clear retains all backing storage. The old map-of-maps
+// representation survives as the reference oracle in the tests.
 type Watchpoints struct {
-	pages map[mem.Page]map[mem.Line]struct{}
+	pages mem.FlatMap[mem.Page, uint64]
 	n     int
 }
 
 // NewWatchpoints returns an empty set.
 func NewWatchpoints() *Watchpoints {
-	return &Watchpoints{pages: make(map[mem.Page]map[mem.Line]struct{})}
+	return &Watchpoints{}
+}
+
+func lineBit(l mem.Line) uint64 {
+	return uint64(1) << (uint64(l) & (mem.LinesPerPage - 1))
 }
 
 // Watch protects line l.
 func (w *Watchpoints) Watch(l mem.Line) {
-	p := mem.PageOfLine(l)
-	set, ok := w.pages[p]
-	if !ok {
-		set = make(map[mem.Line]struct{}, 2)
-		w.pages[p] = set
-	}
-	if _, dup := set[l]; !dup {
-		set[l] = struct{}{}
+	p, _ := w.pages.Upsert(mem.PageOfLine(l))
+	if bit := lineBit(l); *p&bit == 0 {
+		*p |= bit
 		w.n++
 	}
 }
 
 // Unwatch removes the watchpoint on l (no-op if absent).
 func (w *Watchpoints) Unwatch(l mem.Line) {
-	p := mem.PageOfLine(l)
-	set, ok := w.pages[p]
-	if !ok {
+	pg := mem.PageOfLine(l)
+	p := w.pages.Ptr(pg)
+	if p == nil {
 		return
 	}
-	if _, present := set[l]; !present {
+	bit := lineBit(l)
+	if *p&bit == 0 {
 		return
 	}
-	delete(set, l)
+	*p &^= bit
 	w.n--
-	if len(set) == 0 {
-		delete(w.pages, p)
+	if *p == 0 {
+		w.pages.Delete(pg)
 	}
 }
 
 // WatchedPage reports whether any line of page p is watched.
 func (w *Watchpoints) WatchedPage(p mem.Page) bool {
-	_, ok := w.pages[p]
-	return ok
+	return w.pages.Ptr(p) != nil
 }
 
 // WatchedLine reports whether l itself is watched.
 func (w *Watchpoints) WatchedLine(l mem.Line) bool {
-	set, ok := w.pages[mem.PageOfLine(l)]
-	if !ok {
-		return false
-	}
-	_, present := set[l]
-	return present
+	p := w.pages.Ptr(mem.PageOfLine(l))
+	return p != nil && *p&lineBit(l) != 0
 }
 
 // Count returns the number of watched lines.
 func (w *Watchpoints) Count() int { return w.n }
 
-// Clear removes all watchpoints.
+// Clear removes all watchpoints, retaining the backing storage so the
+// Explorer's per-window re-arming never reallocates.
 func (w *Watchpoints) Clear() {
-	w.pages = make(map[mem.Page]map[mem.Line]struct{})
+	w.pages.Reset()
 	w.n = 0
 }
 
@@ -236,6 +246,20 @@ func (e *Engine) RunFunc(n uint64, cacheSim bool, h InstrHandler) {
 			h(&ins, nil)
 		}
 	}
+	if cacheSim {
+		e.charge(KindFuncCache, float64(n))
+	} else {
+		e.charge(KindFunc, float64(n))
+	}
+}
+
+// RunFuncBatch executes n instructions under functional simulation,
+// appending every memory access to b as a by-value record; non-memory
+// instructions execute unobserved. It is the batched twin of RunFunc for
+// callers that only consume the data-access stream — same program state
+// evolution, same ledger charge, no per-instruction handler call.
+func (e *Engine) RunFuncBatch(n uint64, cacheSim bool, b *mem.Batch) {
+	e.Prog.FillBatch(n, b)
 	if cacheSim {
 		e.charge(KindFuncCache, float64(n))
 	} else {

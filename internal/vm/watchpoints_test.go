@@ -1,0 +1,122 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// mapWatchpoints is the original map-of-maps representation, kept as the
+// reference oracle for the paged-bitmap implementation.
+type mapWatchpoints struct {
+	pages map[mem.Page]map[mem.Line]struct{}
+	n     int
+}
+
+func newMapWatchpoints() *mapWatchpoints {
+	return &mapWatchpoints{pages: make(map[mem.Page]map[mem.Line]struct{})}
+}
+
+func (w *mapWatchpoints) watch(l mem.Line) {
+	p := mem.PageOfLine(l)
+	set, ok := w.pages[p]
+	if !ok {
+		set = make(map[mem.Line]struct{}, 2)
+		w.pages[p] = set
+	}
+	if _, dup := set[l]; !dup {
+		set[l] = struct{}{}
+		w.n++
+	}
+}
+
+func (w *mapWatchpoints) unwatch(l mem.Line) {
+	p := mem.PageOfLine(l)
+	set, ok := w.pages[p]
+	if !ok {
+		return
+	}
+	if _, present := set[l]; !present {
+		return
+	}
+	delete(set, l)
+	w.n--
+	if len(set) == 0 {
+		delete(w.pages, p)
+	}
+}
+
+func (w *mapWatchpoints) watchedPage(p mem.Page) bool { _, ok := w.pages[p]; return ok }
+
+func (w *mapWatchpoints) watchedLine(l mem.Line) bool {
+	set, ok := w.pages[mem.PageOfLine(l)]
+	if !ok {
+		return false
+	}
+	_, present := set[l]
+	return present
+}
+
+// TestWatchpointsMatchesMapReference drives the paged-bitmap set and the
+// map-of-maps reference through the same randomized operation stream,
+// including Clear cycles (the Explorer's per-window reuse).
+func TestWatchpointsMatchesMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	wp := NewWatchpoints()
+	ref := newMapWatchpoints()
+	// Lines clustered on few pages so page bitmaps fill, empty and refill.
+	lineOf := func() mem.Line {
+		return mem.Line(uint64(rng.Intn(48))*mem.LinesPerPage + uint64(rng.Intn(mem.LinesPerPage)))
+	}
+	for op := 0; op < 200_000; op++ {
+		l := lineOf()
+		switch rng.Intn(5) {
+		case 0, 1:
+			wp.Watch(l)
+			ref.watch(l)
+		case 2:
+			wp.Unwatch(l)
+			ref.unwatch(l)
+		case 3:
+			p := mem.PageOfLine(l)
+			if got, want := wp.WatchedPage(p), ref.watchedPage(p); got != want {
+				t.Fatalf("op %d: WatchedPage(%#x)=%v, reference %v", op, p, got, want)
+			}
+		case 4:
+			if got, want := wp.WatchedLine(l), ref.watchedLine(l); got != want {
+				t.Fatalf("op %d: WatchedLine(%#x)=%v, reference %v", op, l, got, want)
+			}
+		}
+		if wp.Count() != ref.n {
+			t.Fatalf("op %d: Count=%d, reference %d", op, wp.Count(), ref.n)
+		}
+		if op%37_001 == 37_000 { // periodic window boundary
+			wp.Clear()
+			ref = newMapWatchpoints()
+		}
+	}
+}
+
+// TestWatchpointsClearReusesStorage: re-arming the same working set after
+// Clear must not allocate — the Explorer clears and re-arms per window.
+func TestWatchpointsClearReusesStorage(t *testing.T) {
+	wp := NewWatchpoints()
+	arm := func() {
+		for i := 0; i < 500; i++ {
+			wp.Watch(mem.Line(i * 17))
+		}
+	}
+	arm() // size the table
+	wp.Clear()
+	if wp.Count() != 0 || wp.WatchedLine(0) {
+		t.Fatal("watchpoints visible after Clear")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		wp.Clear()
+		arm()
+	})
+	if allocs != 0 {
+		t.Fatalf("re-arming after Clear allocated %.2f times per window", allocs)
+	}
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func mulHi(a, b uint64) uint64 {
+	h, _ := bits.Mul64(a, b)
+	return h
+}
+
+// batchProfiles spans the generator's feature space: plain streaming,
+// phase gating (calculix), overlays/spread (povray), random + chase mixes.
+func batchProfiles() []*Profile {
+	return []*Profile{GemsFDTD(), Calculix(), Povray(), Mcf(), Perlbench()}
+}
+
+// TestFillBatchMatchesNext pins the batched generator to the
+// access-at-a-time one: identical access records and identical subsequent
+// state, across chunk boundaries and phase edges.
+func TestFillBatchMatchesNext(t *testing.T) {
+	const span = 300_000
+	for _, prof := range batchProfiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			ref := prof.NewProgram(64)
+			bat := prof.NewProgram(64)
+
+			var want mem.Batch
+			var ins Instr
+			for i := 0; i < span; i++ {
+				memIdx := ref.MemIndex()
+				instrIdx := ref.InstrIndex()
+				ref.Next(&ins)
+				if ins.Kind == KindLoad || ins.Kind == KindStore {
+					want.Add(mem.Access{PC: ins.PC, Addr: ins.Addr,
+						Write: ins.Kind == KindStore, MemIdx: memIdx, InstrIdx: instrIdx})
+				}
+			}
+
+			var got mem.Batch
+			// Uneven chunk sizes so boundaries land everywhere, including
+			// mid-burst and on phase edges.
+			for done, chunk := uint64(0), uint64(1); done < span; chunk = chunk*7%8191 + 1 {
+				n := chunk
+				if done+n > span {
+					n = span - done
+				}
+				bat.FillBatch(n, &got)
+				done += n
+			}
+
+			if len(got) != len(want) {
+				t.Fatalf("batched path yielded %d accesses, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("access %d differs: batched %+v, want %+v", i, got[i], want[i])
+				}
+			}
+			if bat.InstrIndex() != ref.InstrIndex() || bat.MemIndex() != ref.MemIndex() {
+				t.Fatalf("state diverged: batched (%d,%d), ref (%d,%d)",
+					bat.InstrIndex(), bat.MemIndex(), ref.InstrIndex(), ref.MemIndex())
+			}
+			// The continuations must agree too.
+			for i := 0; i < 10_000; i++ {
+				var a, b Instr
+				ref.Next(&a)
+				bat.Next(&b)
+				if a != b {
+					t.Fatalf("continuation instruction %d differs: %+v vs %+v", i, b, a)
+				}
+			}
+		})
+	}
+}
+
+// TestFastmodMatchesModulo pins genMem's Lemire fastmod against the %
+// operator over the full 16-bit numerator range for every PC count in use.
+func TestFastmodMatchesModulo(t *testing.T) {
+	counts := map[uint64]struct{}{1: {}, 2: {}, 3: {}, 5: {}, 7: {}, 64: {}, 65535: {}}
+	for _, p := range batchProfiles() {
+		for _, s := range p.Streams {
+			if s.PCs > 0 {
+				counts[uint64(s.PCs)] = struct{}{}
+			}
+		}
+	}
+	for n := range counts {
+		magic := ^uint64(0)/n + 1
+		for x := uint64(0); x < 1<<16; x++ {
+			if got := mulHi(magic*x, n); got != x%n {
+				t.Fatalf("fastmod(%d, %d) = %d, want %d", x, n, got, x%n)
+			}
+		}
+	}
+}
+
+// TestFillBatchSteadyStateAllocs: a sized batch refilled by a phase-free
+// program allocates nothing.
+func TestFillBatchSteadyStateAllocs(t *testing.T) {
+	prog := GemsFDTD().NewProgram(64)
+	batch := make(mem.Batch, 0, 4096)
+	prog.FillBatch(4096, &batch) // size the batch
+	allocs := testing.AllocsPerRun(20, func() {
+		batch.Reset()
+		prog.FillBatch(4096, &batch)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state FillBatch allocated %.2f times per window", allocs)
+	}
+}

@@ -19,7 +19,7 @@ package workload
 import (
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"repro/internal/mem"
 	"repro/internal/stats"
@@ -36,6 +36,13 @@ const (
 	KindStore
 	KindBranch
 	numKinds
+)
+
+// genMem's branchless load/store pick adds a 0/1 flag to KindLoad; both
+// guards underflow a uint64 conversion unless KindStore == KindLoad+1.
+const (
+	_ = uint64(KindStore - KindLoad - 1)
+	_ = uint64(KindLoad + 1 - KindStore)
 )
 
 // String returns the kind name.
@@ -141,21 +148,25 @@ type Profile struct {
 // minLines floors every scaled buffer so degenerate profiles stay valid.
 const minLines = 16
 
-// streamState is the runtime state of one stream.
+// streamState is the runtime state of one stream. Field order is by
+// access frequency: genMem touches everything down to writeBits on every
+// memory access, so those fields share the stream's first cache lines; the
+// phase-gating and construction-time fields trail.
 type streamState struct {
+	pos       uint64
+	lastOff   uint64
+	burstLeft uint32
+	burstLen  uint32
 	kind      StreamKind
 	baseLine  uint64 // first cacheline of the stream's arena
 	lines     uint64 // logical lines (power of two for Chase)
 	stride    uint64
 	spread    uint64 // physical spacing between logical lines
-	overlay   bool   // shares another stream's arena
-	pos       uint64
-	burstLen  uint32
-	burstLeft uint32
-	lastOff   uint64
 	pcBase    uint64
 	pcCount   uint64
+	pcMagic   uint64 // floor(2^64/pcCount)+1: Lemire fastmod magic
 	writeBits uint32 // WriteFrac in 16-bit fixed point
+	overlay   bool   // shares another stream's arena
 	// phase gating, in scaled instructions; bursts are sorted [start, end)
 	// intervals within the period
 	phasePeriod uint64
@@ -176,8 +187,15 @@ type Program struct {
 
 	streams []streamState
 	// cumW is the cumulative stream weight table in 16-bit fixed point,
-	// rebuilt at phase boundaries.
+	// rebuilt at phase boundaries; selLUT maps the selector's high byte to
+	// the first stream index its scan could land on, so genMem's selection
+	// loop starts at (usually exactly) the answer instead of walking from
+	// zero on a data-dependent branch every memory access. activeScratch
+	// is the rebuild's reusable per-stream workspace (phase edges land
+	// mid-hot-loop, so the rebuild must not allocate).
 	cumW          []uint32
+	selLUT        [256]uint8
+	activeScratch []bool
 	nextPhaseEdge uint64
 
 	// instruction-kind thresholds in 16-bit fixed point
@@ -296,6 +314,7 @@ func (p *Profile) NewProgram(scale uint64) *Program {
 			burstLen:  uint32(max(1, s.Burst)),
 			pcBase:    pcNext,
 			pcCount:   uint64(max(1, s.PCs)),
+			pcMagic:   ^uint64(0)/uint64(max(1, s.PCs)) + 1,
 			writeBits: uint32(s.WriteFrac * 65536),
 			weight:    s.Weight,
 		}
@@ -320,8 +339,14 @@ func (p *Profile) NewProgram(scale uint64) *Program {
 				}
 				st.bursts = append(st.bursts, [2]uint64{start, end})
 			}
-			sort.Slice(st.bursts, func(a, b int) bool {
-				return st.bursts[a][0] < st.bursts[b][0]
+			slices.SortFunc(st.bursts, func(a, b [2]uint64) int {
+				switch {
+				case a[0] < b[0]:
+					return -1
+				case a[0] > b[0]:
+					return 1
+				}
+				return 0
 			})
 		}
 		pr.streams = append(pr.streams, st)
@@ -332,6 +357,7 @@ func (p *Profile) NewProgram(scale uint64) *Program {
 		}
 	}
 	pr.cumW = make([]uint32, len(pr.streams))
+	pr.activeScratch = make([]bool, len(pr.streams))
 	pr.Reset()
 	return pr
 }
@@ -378,7 +404,7 @@ func (pr *Program) MemIndex() uint64 { return pr.memIdx }
 func (pr *Program) rebuildWeights() {
 	var totalW float64
 	next := ^uint64(0)
-	active := make([]bool, len(pr.streams))
+	active := pr.activeScratch
 	for i := range pr.streams {
 		st := &pr.streams[i]
 		a := true
@@ -425,6 +451,23 @@ func (pr *Program) rebuildWeights() {
 	}
 	if n := len(pr.cumW); n > 0 {
 		pr.cumW[n-1] = 65536
+	}
+	// Rebuild the selector LUT: entry b holds the scan position for the
+	// smallest selector with high byte b, a lower bound for every selector
+	// sharing that byte (cumW is non-decreasing). Entries saturate at 255
+	// — still a valid lower bound for genMem's scan — so a profile with
+	// more than 256 streams degrades gracefully instead of wrapping.
+	si := 0
+	for b := 0; b < 256; b++ {
+		sel := uint32(b) << 8
+		for si < len(pr.cumW)-1 && sel >= pr.cumW[si] {
+			si++
+		}
+		lut := si
+		if lut > 255 {
+			lut = 255
+		}
+		pr.selLUT[b] = uint8(lut)
 	}
 }
 
@@ -479,7 +522,11 @@ func (pr *Program) Next(ins *Instr) {
 
 func (pr *Program) genMem(ins *Instr, rb uint32) {
 	sel := rb & 0xffff
-	si := 0
+	// Start from the LUT's lower bound; the remaining scan resolves only
+	// the selectors whose high byte straddles a weight boundary, so the
+	// loop branch is almost always not-taken (predictable), where the
+	// from-zero scan mispredicted on every random stream pick.
+	si := int(pr.selLUT[sel>>8])
 	for si < len(pr.cumW)-1 && sel >= pr.cumW[si] {
 		si++
 	}
@@ -508,12 +555,18 @@ func (pr *Program) genMem(ins *Instr, rb uint32) {
 		st.burstLeft = st.burstLen - 1
 	}
 	ins.Addr = mem.Addr((st.baseLine + lineOff*st.spread) << mem.LineShift)
-	ins.PC = st.pcBase + (uint64(rb>>16)%st.pcCount)*8
+	// Exact rb>>16 % pcCount via Lemire's fastmod (two multiplies, no
+	// divide): valid because the numerator fits 32 bits. Pinned against
+	// the % operator by TestFastmodMatchesModulo.
+	pcIdx, _ := bits.Mul64(st.pcMagic*(uint64(rb)>>16), st.pcCount)
+	ins.PC = st.pcBase + pcIdx*8
+	// Branchless load/store pick (KindStore == KindLoad+1): the write
+	// fraction is a per-access coin flip no branch predictor can learn.
+	var isStore InstrKind
 	if rb>>16&0xffff < st.writeBits {
-		ins.Kind = KindStore
-	} else {
-		ins.Kind = KindLoad
+		isStore = 1
 	}
+	ins.Kind = KindLoad + isStore
 	ins.Lat = 0
 	ins.Taken = false
 	pr.memIdx++
@@ -537,6 +590,56 @@ func (pr *Program) genBranch(ins *Instr, rb uint32) {
 		ins.Taken = false
 	} else {
 		ins.Taken = true
+	}
+}
+
+// FillBatch executes n instructions, appending every memory access to b as
+// a by-value record. Program state evolution is bit-identical to n calls
+// of Next — only the observation mechanism differs — so a batched pass and
+// a handler-driven pass replay the same execution (pinned by
+// TestFillBatchMatchesNext).
+//
+// It specializes Next's loop rather than calling it: non-memory
+// instructions advance their state (RNG, code walk, branch counters,
+// phase edges) without materializing an Instr, which is where a third of
+// the per-instruction cost of the handler-driven path went.
+func (pr *Program) FillBatch(n uint64, b *mem.Batch) {
+	var ins Instr
+	s := *b // keep the slice header in registers across the loop
+	for i := uint64(0); i < n; i++ {
+		if pr.instrIdx >= pr.nextPhaseEdge {
+			pr.rebuildWeights()
+		}
+		r := pr.rng.Uint64()
+		pr.instrIdx++
+		pr.codePos++
+		if pr.codePos>>3 >= pr.codeLines {
+			pr.codePos = 0
+		}
+		sel := uint32(r & 0xffff)
+		switch {
+		case sel < pr.thMem:
+			memIdx := pr.memIdx
+			pr.genMem(&ins, uint32(r>>16))
+			s = append(s, mem.Access{PC: ins.PC, Addr: ins.Addr,
+				Write: ins.Kind == KindStore, MemIdx: memIdx, InstrIdx: pr.instrIdx - 1})
+		case sel < pr.thBranch:
+			pr.genBranchState(uint32(r >> 16))
+		}
+	}
+	*b = s
+}
+
+// genBranchState applies exactly the state updates of genBranch (the loop
+// branches' taken-run counters) without producing the instruction.
+func (pr *Program) genBranchState(rb uint32) {
+	if rb>>16 < pr.randBrBits {
+		return
+	}
+	slot := &pr.branchSlots[rb%16]
+	slot.ctr++
+	if slot.ctr >= pr.loopDuty {
+		slot.ctr = 0
 	}
 }
 
