@@ -18,18 +18,20 @@ import (
 	"strings"
 
 	"repro/internal/figures"
-	"repro/internal/runner"
+	"repro/internal/lab"
 	"repro/internal/warm"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		mixArg  = flag.String("mixes", "omnetpp,hmmer;libquantum,astar;omnetpp,astar,hmmer", "semicolon-separated app mixes (comma-separated benchmark names)")
-		llcArg  = flag.String("llc", "4,16", "shared-LLC sizes in paper-scale MiB, comma-separated")
-		scale   = flag.Uint64("scale", 64, "scale factor dividing paper-scale capacities and windows")
-		workers = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
-		prog    = flag.Bool("progress", false, "stream per-job completion to stderr")
+		mixArg   = flag.String("mixes", "omnetpp,hmmer;libquantum,astar;omnetpp,astar,hmmer", "semicolon-separated app mixes (comma-separated benchmark names)")
+		llcArg   = flag.String("llc", "4,16", "shared-LLC sizes in paper-scale MiB, comma-separated")
+		scale    = flag.Uint64("scale", 64, "scale factor dividing paper-scale capacities and windows")
+		workers  = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
+		storeDir = flag.String("store", "", "artifact store directory (persists results across runs)")
+		storeMax = flag.Int64("store-max-mb", 0, "artifact store size budget in MiB (0 = unbounded)")
+		prog     = flag.Bool("progress", false, "stream per-job completion to stderr")
 	)
 	flag.Parse()
 
@@ -87,16 +89,13 @@ func main() {
 	cfg := warm.DefaultConfig()
 	cfg.Scale = *scale
 
-	eng := runner.New(*workers)
+	eng, _, err := lab.NewEngine(*workers, *storeDir, *storeMax<<20)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if *prog {
-		eng.OnProgress = func(p runner.Progress) {
-			tag := ""
-			if p.Cached {
-				tag = " (cached)"
-			}
-			fmt.Fprintf(os.Stderr, "  [%2d/%2d] %s/%s%s %.1fs\n",
-				p.Done, p.Total, p.Job.Bench, p.Job.Method, tag, p.Elapsed.Seconds())
-		}
+		eng.OnProgress = lab.ProgressPrinter(os.Stderr)
 	}
 
 	cells := figures.CoRunMatrix(eng, scenarios, sizes, cfg)

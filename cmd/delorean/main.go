@@ -16,7 +16,7 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/runner"
+	"repro/internal/lab"
 	"repro/internal/sampling"
 	"repro/internal/textplot"
 	"repro/internal/warm"
@@ -32,6 +32,8 @@ func main() {
 		prefetch = flag.Bool("prefetch", false, "enable the LLC stride prefetcher")
 		methods  = flag.String("methods", "smarts,coolsim,delorean", "comma-separated methods")
 		workers  = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
+		storeDir = flag.String("store", "", "artifact store directory (persists results across runs)")
+		storeMax = flag.Int64("store-max-mb", 0, "artifact store size budget in MiB (0 = unbounded)")
 		verbose  = flag.Bool("v", false, "print per-region detail and counters")
 	)
 	flag.Parse()
@@ -73,12 +75,13 @@ func main() {
 		}
 	}
 
-	eng := runner.New(*workers)
+	eng, _, err := lab.NewEngine(*workers, *storeDir, *storeMax<<20)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if *verbose {
-		eng.OnProgress = func(p runner.Progress) {
-			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %s/%s %.1fs\n",
-				p.Done, p.Total, p.Job.Bench, p.Job.Method, p.Elapsed.Seconds())
-		}
+		eng.OnProgress = lab.ProgressPrinter(os.Stderr)
 	}
 	opt.Eng = eng
 	cmp := sampling.RunAll(profs, cfg, opt)

@@ -10,7 +10,9 @@ import (
 
 	"repro/internal/dse"
 	"repro/internal/figures"
+	"repro/internal/lab"
 	"repro/internal/runner"
+	"repro/internal/spec"
 	"repro/internal/textplot"
 	"repro/internal/warm"
 	"repro/internal/workload"
@@ -18,10 +20,12 @@ import (
 
 func main() {
 	var (
-		bench   = flag.String("bench", "cactusADM", "benchmark name")
-		regions = flag.Int("regions", 10, "number of detailed regions")
-		short   = flag.Bool("short", false, "fewer LLC sizes")
-		workers = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
+		bench    = flag.String("bench", "cactusADM", "benchmark name")
+		regions  = flag.Int("regions", 10, "number of detailed regions")
+		short    = flag.Bool("short", false, "fewer LLC sizes")
+		workers  = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
+		storeDir = flag.String("store", "", "artifact store directory (persists results across runs)")
+		storeMax = flag.Int64("store-max-mb", 0, "artifact store size budget in MiB (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -34,11 +38,17 @@ func main() {
 	cfg.Regions = *regions
 	sizes := figures.WSSizes(*short)
 
-	eng := runner.New(*workers)
-	res := eng.RunMatrix([]runner.Job{{
-		Bench: prof.Name, Method: "dse", Extra: fmt.Sprint(sizes), Cfg: cfg,
-		Exec: func(cfg warm.Config) any { return dse.RunParallel(prof, cfg, sizes, *workers) },
-	}})[0].(*dse.Result)
+	eng, _, err := lab.NewEngine(*workers, *storeDir, *storeMax<<20)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// The single-job matrix leaves the pool idle, so the DSE spec gets the
+	// whole worker budget for its inner Analyst fan-out (resolved
+	// explicitly: a zero Workers hint means serial in spec executors).
+	res := eng.RunMatrix([]runner.Job{spec.Job(spec.DSESweepParams{
+		Bench: spec.Ref(prof), Sizes: sizes, Cfg: cfg, Workers: runner.PoolSize(*workers),
+	})})[0].(*dse.Result)
 	tbl := textplot.NewTable(
 		fmt.Sprintf("DSE: %s, %d LLC configurations from one warm-up", prof.Name, len(sizes)),
 		"LLC (paper MiB)", "CPI", "LLC MPKI")

@@ -1,9 +1,13 @@
 // Command figures regenerates every table and figure of the paper's
-// evaluation section and writes them to EXPERIMENTS.md (or stdout).
+// evaluation section and writes them to EXPERIMENTS.md (or stdout). It is
+// a thin front over figures.WriteReport on the shared spec → runner →
+// artifact-store pipeline: with -store, a second run against the same
+// directory executes zero experiments and reproduces the report
+// byte-identically from persisted artifacts.
 //
 // Usage:
 //
-//	figures [-short] [-out EXPERIMENTS.md] [-only fig5,fig6,...]
+//	figures [-short] [-out EXPERIMENTS.md] [-only fig5,fig6,...] [-store DIR]
 package main
 
 import (
@@ -14,17 +18,18 @@ import (
 	"time"
 
 	"repro/internal/figures"
-	"repro/internal/runner"
-	"repro/internal/sampling"
+	"repro/internal/lab"
 )
 
 func main() {
 	var (
-		short   = flag.Bool("short", false, "reduced sweep sizes for quick runs")
-		outArg  = flag.String("out", "", "output file (default stdout)")
-		only    = flag.String("only", "", "comma-separated subset: table1,fig5..fig14,corun,headline")
-		workers = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
-		prog    = flag.Bool("progress", false, "stream per-job completion to stderr")
+		short    = flag.Bool("short", false, "reduced sweep sizes for quick runs")
+		outArg   = flag.String("out", "", "output file (default stdout)")
+		only     = flag.String("only", "", "comma-separated subset: table1,fig5..fig14,corun,headline")
+		workers  = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
+		prog     = flag.Bool("progress", false, "stream per-job completion to stderr")
+		storeDir = flag.String("store", "", "artifact store directory (persists results across runs)")
+		storeMax = flag.Int64("store-max-mb", 0, "artifact store size budget in MiB (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -37,17 +42,15 @@ func main() {
 
 	// One engine for the whole run: every figure's sweep shares its worker
 	// pool and result cache, so configurations that recur across figures
-	// (e.g. the default-density point of Fig. 11) are never re-run.
-	eng := runner.New(*workers)
+	// (e.g. the default-density point of Fig. 11) are never re-run — and
+	// with -store, not even across processes.
+	eng, _, err := lab.NewEngine(*workers, *storeDir, *storeMax<<20)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if *prog {
-		eng.OnProgress = func(p runner.Progress) {
-			tag := ""
-			if p.Cached {
-				tag = " (cached)"
-			}
-			fmt.Fprintf(os.Stderr, "  [%3d/%3d] %s/%s%s %.1fs\n",
-				p.Done, p.Total, p.Job.Bench, p.Job.Method, tag, p.Elapsed.Seconds())
-		}
+		eng.OnProgress = lab.ProgressPrinter(os.Stderr)
 	}
 	opt.Eng = eng
 
@@ -57,7 +60,6 @@ func main() {
 			want[k] = true
 		}
 	}
-	sel := func(k string) bool { return len(want) == 0 || want[k] }
 
 	var out *os.File = os.Stdout
 	if *outArg != "" {
@@ -71,75 +73,8 @@ func main() {
 	}
 
 	start := time.Now()
-	section := func(title, body string) {
-		fmt.Fprintf(out, "## %s\n\n```\n%s```\n\n", title, body)
-		fmt.Fprintf(os.Stderr, "[%6.1fs] %s done\n", time.Since(start).Seconds(), title)
-	}
-
-	if len(want) > 0 {
-		// Subset runs append to an existing report; skip the preamble.
-	} else {
-		fmt.Fprintf(out, "# EXPERIMENTS — paper vs. measured\n\n")
-	}
-	if len(want) == 0 {
-		fmt.Fprintf(out, "Generated by `go run ./cmd/figures`%s on a %d-benchmark suite, scale 1/%d, %d regions.\n",
-			map[bool]string{true: " -short", false: ""}[*short],
-			len(opt.Benchmarks), opt.Cfg.Scale, opt.Cfg.Regions)
-		fmt.Fprintf(out, "All speeds are simulated-time (cost-model) figures extrapolated to paper scale; see DESIGN.md §5.\n\n")
-	}
-
-	if sel("table1") {
-		section("Table 1 — simulated processor", figures.Table1(opt.Cfg))
-	}
-
-	// The 8 MiB comparison feeds Figures 5-9 and the headline.
-	var cmp8 *sampling.Comparison
-	need8 := sel("fig5") || sel("fig6") || sel("fig7") || sel("fig8") ||
-		sel("fig9") || sel("fig11") || sel("fig12") || sel("headline")
-	if need8 {
-		cmp8 = sampling.RunAll(opt.Benchmarks, opt.Cfg, sampling.Options{Eng: eng})
-		fmt.Fprintf(os.Stderr, "[%6.1fs] 8 MiB comparison done\n", time.Since(start).Seconds())
-	}
-	if sel("fig5") {
-		section("Figure 5 — normalized simulation speed", figures.Fig5(cmp8))
-	}
-	if sel("fig6") {
-		section("Figure 6 — collected reuse distances", figures.Fig6(cmp8))
-	}
-	if sel("fig7") {
-		section("Figure 7 — key reuses per Explorer", figures.Fig7(cmp8))
-	}
-	if sel("fig8") {
-		section("Figure 8 — average Explorers engaged", figures.Fig8(cmp8))
-	}
-	if sel("fig9") {
-		section("Figure 9 — CPI, 8 MiB LLC", figures.FigCPI(cmp8, "Figure 9", 8, "3.5% / 9.1%"))
-	}
-	if sel("fig10") {
-		cfg512 := opt.Cfg
-		cfg512.LLCPaperBytes = 512 << 20
-		cmp512 := sampling.RunAll(opt.Benchmarks, cfg512, sampling.Options{Eng: eng})
-		section("Figure 10 — CPI, 512 MiB LLC", figures.FigCPI(cmp512, "Figure 10", 512, "2.9% / 9.3%"))
-	}
-	if sel("fig11") {
-		section("Figure 11 — vicinity density sensitivity", figures.Fig11(opt, cmp8))
-	}
-	if sel("fig12") {
-		section("Figure 12 — hardware prefetching", figures.Fig12(opt, cmp8))
-	}
-	if sel("fig13") || sel("fig14") {
-		section("Figures 13 & 14 — working-set curves and design-space exploration", figures.Fig13and14(opt))
-	}
-	if sel("corun") {
-		section("Co-run validation — simulated shared LLC vs StatCC (§4.2)", figures.CoRun(opt))
-	}
-	if sel("headline") {
-		section("Headline numbers (§6.1)", figures.Headline(cmp8))
-	}
-	if want["ablation"] {
-		section("Ablations — why each design choice matters", figures.Ablations(opt))
-	}
+	figures.WriteReport(out, opt, want, os.Stderr)
 	hits, misses := eng.CacheStats()
-	fmt.Fprintf(os.Stderr, "total: %.1fs (%d jobs run, %d served from cache)\n",
-		time.Since(start).Seconds(), misses, hits)
+	fmt.Fprintf(os.Stderr, "total: %.1fs (%d jobs run, %d served from memory, %d from store)\n",
+		time.Since(start).Seconds(), misses, hits, eng.StoreHits())
 }

@@ -1,0 +1,97 @@
+// Command labd is the long-running lab service: an HTTP front over the
+// spec → runner → artifact-store pipeline that every CLI also drives.
+// Clients submit serialized experiment specs; labd deduplicates them by
+// canonical key, executes them on a shared worker pool, persists results
+// in the artifact store and serves them back — so one warm daemon answers
+// any number of figure, DSE or co-run requests without re-running work.
+//
+// Usage:
+//
+//	labd [-addr :8080] [-store DIR] [-store-max-mb N] [-workers N]
+//
+// API:
+//
+//	POST /v1/specs            submit a spec {"kind": ..., "params": {...}}
+//	GET  /v1/jobs/{key}       job status
+//	GET  /v1/jobs/{key}/wait  block until the job finishes
+//	GET  /v1/events[?key=K]   NDJSON stream of experiment completions
+//	GET  /v1/artifacts/{key}  the result payload (JSON)
+//	GET  /v1/kinds            registered experiment kinds
+//	GET  /v1/status           engine and store statistics
+//	GET  /healthz             liveness
+//
+// Example:
+//
+//	labd -store /tmp/lab-store &
+//	curl -s -X POST localhost:8080/v1/specs -d '{
+//	  "kind": "sampling",
+//	  "params": {"bench": {"name": "mcf"}, "method": "delorean",
+//	             "cfg": '"$(go run ./cmd/labd -print-default-cfg)"'}}'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/lab"
+	"repro/internal/warm"
+)
+
+// defaultCfg is what -print-default-cfg emits: the paper's experimental
+// setup, ready to paste into a spec's "cfg" field.
+func defaultCfg() warm.Config { return warm.DefaultConfig() }
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		storeDir = flag.String("store", "", "artifact store directory (empty = in-memory cache only)")
+		storeMax = flag.Int64("store-max-mb", 0, "artifact store size budget in MiB (0 = unbounded)")
+		workers  = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
+		printCfg = flag.Bool("print-default-cfg", false, "print the default warm.Config as JSON and exit")
+	)
+	flag.Parse()
+
+	if *printCfg {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(defaultCfg()); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	eng, store, err := lab.NewEngine(*workers, *storeDir, *storeMax<<20)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Addr: *addr, Handler: lab.NewServer(eng, store).Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+
+	where := "in-memory cache only"
+	if store != nil {
+		where = "store " + store.Dir()
+	}
+	fmt.Fprintf(os.Stderr, "labd: listening on %s (%s)\n", *addr, where)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "labd:", err)
+	os.Exit(1)
+}

@@ -10,7 +10,9 @@ import (
 
 	"repro/internal/dse"
 	"repro/internal/figures"
+	"repro/internal/lab"
 	"repro/internal/runner"
+	"repro/internal/spec"
 	"repro/internal/textplot"
 	"repro/internal/warm"
 	"repro/internal/workload"
@@ -18,11 +20,13 @@ import (
 
 func main() {
 	var (
-		bench   = flag.String("bench", "lbm", "benchmark name")
-		regions = flag.Int("regions", 10, "number of detailed regions")
-		short   = flag.Bool("short", false, "fewer LLC sizes")
-		withRef = flag.Bool("ref", false, "also run the SMARTS reference per size (slow)")
-		workers = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
+		bench    = flag.String("bench", "lbm", "benchmark name")
+		regions  = flag.Int("regions", 10, "number of detailed regions")
+		short    = flag.Bool("short", false, "fewer LLC sizes")
+		withRef  = flag.Bool("ref", false, "also run the SMARTS reference per size (slow)")
+		workers  = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
+		storeDir = flag.String("store", "", "artifact store directory (persists results across runs)")
+		storeMax = flag.Int64("store-max-mb", 0, "artifact store size budget in MiB (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -36,25 +40,28 @@ func main() {
 	sizes := figures.WSSizes(*short)
 
 	// One matrix: the shared-warm-up DSE sweep plus (optionally) one
-	// SMARTS reference job per size, sharded on the runner engine. With
+	// SMARTS reference spec per size, sharded on the runner engine. With
 	// -ref the matrix pool is already full of SMARTS jobs, so the DSE
-	// job's inner Analyst fan-out runs serially to avoid oversubscribing
+	// spec's inner Analyst fan-out runs serially to avoid oversubscribing
 	// the pool; without it the fan-out gets the whole worker budget.
-	eng := runner.New(*workers)
-	dseWorkers := *workers
+	eng, _, err := lab.NewEngine(*workers, *storeDir, *storeMax<<20)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	dseWorkers := runner.PoolSize(*workers)
 	if *withRef {
 		dseWorkers = 1
 	}
-	jobs := []runner.Job{{
-		Bench: prof.Name, Method: "dse", Extra: fmt.Sprint(sizes), Cfg: cfg,
-		Exec: func(cfg warm.Config) any { return dse.RunParallel(prof, cfg, sizes, dseWorkers) },
-	}}
+	ref := spec.Ref(prof)
+	jobs := []runner.Job{spec.Job(spec.DSESweepParams{
+		Bench: ref, Sizes: sizes, Cfg: cfg, Workers: dseWorkers,
+	})}
 	if *withRef {
 		for _, s := range sizes {
 			rcfg := cfg
 			rcfg.LLCPaperBytes = s
-			jobs = append(jobs, runner.Job{Bench: prof.Name, Method: "smarts", Cfg: rcfg,
-				Exec: func(cfg warm.Config) any { return warm.RunSMARTS(prof, cfg) }})
+			jobs = append(jobs, spec.Job(spec.SamplingParams{Bench: ref, Method: spec.MethodSMARTS, Cfg: rcfg}))
 		}
 	}
 	results := eng.RunMatrix(jobs)

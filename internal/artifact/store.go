@@ -1,0 +1,384 @@
+// Package artifact is the persistent tier of the experiment cache: a
+// content-addressed on-disk store of experiment results, keyed by the
+// spec's canonical SHA-256 (internal/spec) and written as versioned JSON
+// envelopes. It is what turns the runner's in-process result cache into a
+// durable one — a second run of `figures` or `dse` against a warm store
+// executes zero experiments, and the lab service serves artifacts across
+// process restarts.
+//
+// Properties the rest of the system relies on:
+//
+//   - integrity: every envelope records the SHA-256 of its payload; a
+//     mismatch (bit rot, torn write that survived rename) reads as a miss,
+//     never as silently wrong data;
+//   - atomic writes: payloads land via temp-file + rename, so a crashed
+//     writer can leave stale temp files but never a half-written artifact
+//     under a valid name;
+//   - corruption tolerance: any unreadable, unparsable, wrong-kind,
+//     wrong-version or hash-mismatched artifact is treated as absent (and
+//     deleted best-effort) — the runner recomputes, nothing crashes;
+//   - versioned codecs: each experiment kind registers a codec with a
+//     version; bumping the version orphans old artifacts instead of
+//     decoding them wrongly;
+//   - size-bounded LRU eviction: the store tracks per-artifact sizes and
+//     recency (persisted across restarts via file mtimes) and evicts the
+//     least recently used artifacts when a byte budget is exceeded.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Schema identifies the envelope layout; bump on incompatible change.
+const Schema = "delorean-artifact/v1"
+
+// Codec encodes and decodes one experiment kind's result type. Version is
+// part of artifact compatibility: a stored artifact whose codec version
+// differs from the registered one is ignored and recomputed.
+type Codec struct {
+	Version int
+	Encode  func(v any) ([]byte, error)
+	Decode  func(b []byte) (any, error)
+}
+
+// envelope is the on-disk form of one artifact.
+type envelope struct {
+	Schema       string          `json:"schema"`
+	Kind         string          `json:"kind"`
+	Key          string          `json:"key"`
+	CodecVersion int             `json:"codec_version"`
+	SHA256       string          `json:"sha256"` // hex SHA-256 of Payload
+	Payload      json.RawMessage `json:"payload"`
+}
+
+// Stats is a snapshot of the store's operation counters.
+type Stats struct {
+	Loads, LoadMisses  uint64
+	Saves              uint64
+	Evictions, Corrupt uint64
+	Artifacts          int
+	Bytes, MaxBytes    int64
+}
+
+// Store is a content-addressed artifact store rooted at one directory.
+// All methods are safe for concurrent use. It implements runner.Store.
+type Store struct {
+	dir      string
+	maxBytes int64 // <= 0: unbounded
+	codecs   map[string]Codec
+
+	mu    sync.Mutex
+	index map[string]*entry
+	total int64
+	tick  uint64
+
+	loads, loadMisses, saves, evictions, corrupt uint64
+}
+
+type entry struct {
+	kind string
+	size int64
+	used uint64 // recency tick; larger = more recent
+}
+
+// Open opens (creating if needed) a store rooted at dir with the given
+// byte budget (<= 0: unbounded) and per-kind codecs. Existing artifacts
+// are indexed by scanning the directory; their recency order is recovered
+// from file modification times, which Load refreshes.
+func Open(dir string, maxBytes int64, codecs map[string]Codec) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, maxBytes: maxBytes, codecs: codecs, index: make(map[string]*entry)}
+
+	type found struct {
+		key  string
+		ent  *entry
+		mtim time.Time
+	}
+	var all []found
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return nil //nolint:nilerr // unreadable entries are simply not indexed
+		}
+		key := d.Name()[:len(d.Name())-len(".json")]
+		if strings.HasPrefix(d.Name(), "tmp-") {
+			// A writer crashed between CreateTemp and rename; the stray
+			// temp file is not an artifact and must not enter the index
+			// (its key would not map back to its path, corrupting the
+			// byte accounting on eviction).
+			_ = os.Remove(path)
+			return nil
+		}
+		if !validKey(key) {
+			return nil // foreign file: never index, never delete
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return nil
+		}
+		all = append(all, found{key: key, ent: &entry{size: info.Size()}, mtim: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mtim.Before(all[j].mtim) })
+	for _, f := range all {
+		s.tick++
+		f.ent.used = s.tick
+		s.index[f.key] = f.ent
+		s.total += f.ent.size
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a snapshot of the operation counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Loads: s.loads, LoadMisses: s.loadMisses, Saves: s.saves,
+		Evictions: s.evictions, Corrupt: s.corrupt,
+		Artifacts: len(s.index), Bytes: s.total, MaxBytes: s.maxBytes}
+}
+
+// validKey accepts exactly the hex SHA-256 form spec keys take. It is the
+// store's path-safety gate: keys reach the filesystem verbatim, and the
+// lab service forwards client-supplied keys, so anything else (path
+// separators, "..", tmp- prefixes) must never touch a path.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key+".json")
+}
+
+// Load returns the decoded artifact for (kind, key), or a miss. It never
+// errors: absent, corrupt and incompatible artifacts all read as misses
+// (corrupt ones are deleted best-effort so they are recomputed once, not
+// re-probed forever). File reads and decoding run outside the store lock
+// so a warm run's concurrent loads don't serialize on it.
+func (s *Store) Load(kind, key string) (any, bool) {
+	codec, hasCodec := s.codecs[kind] // codecs map is immutable after Open
+	if !hasCodec || !validKey(key) {
+		s.miss(false)
+		return nil, false
+	}
+	path := s.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		// The file is gone (evicted by a racing Save, or deleted
+		// externally): reconcile the index so its bytes stop counting
+		// toward the budget.
+		s.mu.Lock()
+		s.loads++
+		s.loadMisses++
+		s.dropLocked(key, path)
+		s.mu.Unlock()
+		return nil, false
+	}
+	val, err := decodeEnvelope(raw, kind, key, codec)
+
+	s.mu.Lock()
+	s.loads++
+	if err != nil {
+		s.corrupt++
+		s.loadMisses++
+		s.dropLocked(key, path)
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.touchLocked(key, int64(len(raw)), kind)
+	s.mu.Unlock()
+	refreshMtime(path)
+	return val, true
+}
+
+// miss records a load that never reached a file.
+func (s *Store) miss(corrupt bool) {
+	s.mu.Lock()
+	s.loads++
+	s.loadMisses++
+	if corrupt {
+		s.corrupt++
+	}
+	s.mu.Unlock()
+}
+
+// Raw returns the stored payload bytes for key without decoding (integrity
+// still verified), plus the artifact's kind. The lab service serves
+// artifacts through this path — key comes from the client, so the
+// validKey gate here is load-bearing.
+func (s *Store) Raw(key string) (payload []byte, kind string, ok bool) {
+	if !validKey(key) {
+		return nil, "", false
+	}
+	path := s.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", false
+	}
+	var env envelope
+	badEnv := json.Unmarshal(raw, &env) != nil ||
+		env.Schema != Schema || env.Key != key || hashHex(env.Payload) != env.SHA256
+
+	s.mu.Lock()
+	if badEnv {
+		s.corrupt++
+		s.dropLocked(key, path)
+		s.mu.Unlock()
+		return nil, "", false
+	}
+	s.touchLocked(key, int64(len(raw)), env.Kind)
+	s.mu.Unlock()
+	refreshMtime(path)
+	return env.Payload, env.Kind, true
+}
+
+func decodeEnvelope(raw []byte, kind, key string, codec Codec) (any, error) {
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, err
+	}
+	switch {
+	case env.Schema != Schema:
+		return nil, fmt.Errorf("schema %q", env.Schema)
+	case env.Kind != kind:
+		return nil, fmt.Errorf("kind %q, want %q", env.Kind, kind)
+	case env.Key != key:
+		return nil, fmt.Errorf("key mismatch")
+	case env.CodecVersion != codec.Version:
+		return nil, fmt.Errorf("codec version %d, want %d", env.CodecVersion, codec.Version)
+	case hashHex(env.Payload) != env.SHA256:
+		return nil, fmt.Errorf("payload hash mismatch")
+	}
+	return codec.Decode(env.Payload)
+}
+
+// Save persists the artifact for (kind, key). Failures are swallowed: the
+// store is a cache, and a result that could not be persisted is still
+// returned to the caller by the runner.
+func (s *Store) Save(kind, key string, val any) {
+	codec, ok := s.codecs[kind]
+	if !ok || !validKey(key) {
+		return
+	}
+	payload, err := codec.Encode(val)
+	if err != nil {
+		return
+	}
+	env := envelope{Schema: Schema, Kind: kind, Key: key,
+		CodecVersion: codec.Version, SHA256: hashHex(payload), Payload: payload}
+	raw, err := json.Marshal(&env)
+	if err != nil {
+		return
+	}
+
+	// All file I/O happens outside the lock: concurrent workers persist
+	// different keys in parallel (the runner's single-flight path
+	// guarantees one writer per key within a process; across processes
+	// the rename makes last-writer-wins atomic).
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*.json")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), path) != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+
+	s.mu.Lock()
+	s.saves++
+	s.touchLocked(key, int64(len(raw)), kind)
+	s.evictLocked(key)
+	s.mu.Unlock()
+}
+
+// touchLocked records (or refreshes) key in the index and bumps its
+// recency.
+func (s *Store) touchLocked(key string, size int64, kind string) {
+	s.tick++
+	if ent, ok := s.index[key]; ok {
+		s.total += size - ent.size
+		ent.size, ent.kind, ent.used = size, kind, s.tick
+	} else {
+		s.index[key] = &entry{kind: kind, size: size, used: s.tick}
+		s.total += size
+	}
+}
+
+// refreshMtime bumps a loaded artifact's file mtime (outside the store
+// lock — it is only an LRU recency hint for the next Open) so the LRU
+// order survives restarts.
+func refreshMtime(path string) {
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+}
+
+// evictLocked removes least-recently-used artifacts until the store fits
+// its byte budget. The just-written key is exempt: an artifact larger than
+// the whole budget is kept (alone) rather than thrashing.
+func (s *Store) evictLocked(justWritten string) {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.total > s.maxBytes && len(s.index) > 1 {
+		victim := ""
+		var oldest uint64
+		for k, e := range s.index {
+			if k == justWritten {
+				continue
+			}
+			if victim == "" || e.used < oldest {
+				victim, oldest = k, e.used
+			}
+		}
+		if victim == "" {
+			return
+		}
+		s.dropLocked(victim, s.path(victim))
+		s.evictions++
+	}
+}
+
+func (s *Store) dropLocked(key, path string) {
+	if ent, ok := s.index[key]; ok {
+		s.total -= ent.size
+		delete(s.index, key)
+	}
+	_ = os.Remove(path)
+}
+
+func hashHex(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}

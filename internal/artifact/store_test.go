@@ -1,0 +1,175 @@
+package artifact_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+type payload struct {
+	Name string  `json:"name"`
+	Vals []int64 `json:"vals"`
+	Pad  string  `json:"pad,omitempty"`
+}
+
+func codecs() map[string]artifact.Codec {
+	return map[string]artifact.Codec{
+		"test": {
+			Version: 1,
+			Encode:  func(v any) ([]byte, error) { return json.Marshal(v) },
+			Decode: func(b []byte) (any, error) {
+				var p payload
+				if err := json.Unmarshal(b, &p); err != nil {
+					return nil, err
+				}
+				return p, nil
+			},
+		},
+	}
+}
+
+// key returns a syntactically plausible 64-hex key with a given prefix.
+func key(s string) string {
+	return (s + strings.Repeat("0", 64))[:64]
+}
+
+func TestRoundTrip(t *testing.T) {
+	st, err := artifact.Open(t.TempDir(), 0, codecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payload{Name: "a", Vals: []int64{1, 1 << 60, -7}}
+	st.Save("test", key("aa"), want)
+	got, ok := st.Load("test", key("aa"))
+	if !ok {
+		t.Fatal("fresh artifact not found")
+	}
+	if got.(payload).Name != "a" || got.(payload).Vals[1] != 1<<60 {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+	if _, ok := st.Load("test", key("bb")); ok {
+		t.Error("absent key reported present")
+	}
+	if _, ok := st.Load("unregistered-kind", key("aa")); ok {
+		t.Error("unregistered kind reported present")
+	}
+}
+
+// TestPersistsAcrossOpens: a second Store over the same directory serves
+// the first one's artifacts (the warm-cache property).
+func TestPersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	st1, _ := artifact.Open(dir, 0, codecs())
+	st1.Save("test", key("aa"), payload{Name: "persisted"})
+
+	st2, err := artifact.Open(dir, 0, codecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st2.Load("test", key("aa"))
+	if !ok || got.(payload).Name != "persisted" {
+		t.Fatalf("artifact lost across re-open: %v %v", got, ok)
+	}
+	if s := st2.Stats(); s.Artifacts != 1 || s.Bytes <= 0 {
+		t.Errorf("re-opened index wrong: %+v", s)
+	}
+}
+
+// TestCorruptionTolerated: truncated or bit-flipped artifacts read as
+// misses (recompute), never as bad data or a crash, and are dropped so
+// the next Save replaces them.
+func TestCorruptionTolerated(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := artifact.Open(dir, 0, codecs())
+	st.Save("test", key("aa"), payload{Name: "x", Pad: strings.Repeat("p", 256)})
+
+	var file string
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			file = p
+		}
+		return nil
+	})
+	if file == "" {
+		t.Fatal("no artifact file written")
+	}
+
+	// Truncate: unparsable JSON.
+	raw, _ := os.ReadFile(file)
+	os.WriteFile(file, raw[:len(raw)/2], 0o644)
+	if _, ok := st.Load("test", key("aa")); ok {
+		t.Error("truncated artifact served")
+	}
+	if _, err := os.Stat(file); !os.IsNotExist(err) {
+		t.Error("corrupt artifact not dropped")
+	}
+
+	// Valid JSON, wrong payload hash.
+	st.Save("test", key("aa"), payload{Name: "x", Pad: strings.Repeat("p", 256)})
+	raw, _ = os.ReadFile(file)
+	os.WriteFile(file, []byte(strings.Replace(string(raw), `"name":"x"`, `"name":"y"`, 1)), 0o644)
+	if _, ok := st.Load("test", key("aa")); ok {
+		t.Error("hash-mismatched artifact served")
+	}
+	if st.Stats().Corrupt != 2 {
+		t.Errorf("corrupt count = %d, want 2", st.Stats().Corrupt)
+	}
+
+	// Recompute path: a fresh Save works again.
+	st.Save("test", key("aa"), payload{Name: "fresh"})
+	if got, ok := st.Load("test", key("aa")); !ok || got.(payload).Name != "fresh" {
+		t.Error("store unusable after corruption recovery")
+	}
+}
+
+// TestCodecVersionGate: artifacts written under an older codec version
+// are ignored (recomputed), not misdecoded.
+func TestCodecVersionGate(t *testing.T) {
+	dir := t.TempDir()
+	st1, _ := artifact.Open(dir, 0, codecs())
+	st1.Save("test", key("aa"), payload{Name: "v1"})
+
+	c2 := codecs()
+	c := c2["test"]
+	c.Version = 2
+	c2["test"] = c
+	st2, _ := artifact.Open(dir, 0, c2)
+	if _, ok := st2.Load("test", key("aa")); ok {
+		t.Error("version-mismatched artifact served")
+	}
+}
+
+// TestLRUEviction: the store stays within its byte budget by evicting the
+// least recently used artifacts; a recently loaded artifact survives.
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	pad := strings.Repeat("x", 4096)
+	st, _ := artifact.Open(dir, 16<<10, codecs())
+	st.Save("test", key("aa"), payload{Name: "a", Pad: pad})
+	st.Save("test", key("bb"), payload{Name: "b", Pad: pad})
+	st.Save("test", key("cc"), payload{Name: "c", Pad: pad})
+	// Touch "aa" so "bb" is now the least recently used.
+	if _, ok := st.Load("test", key("aa")); !ok {
+		t.Fatal("aa missing before eviction")
+	}
+	st.Save("test", key("dd"), payload{Name: "d", Pad: pad})
+	st.Save("test", key("ee"), payload{Name: "e", Pad: pad})
+
+	s := st.Stats()
+	if s.Bytes > s.MaxBytes {
+		t.Errorf("store over budget: %d > %d", s.Bytes, s.MaxBytes)
+	}
+	if s.Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+	if _, ok := st.Load("test", key("bb")); ok {
+		t.Error("LRU victim bb survived")
+	}
+	if _, ok := st.Load("test", key("ee")); !ok {
+		t.Error("most recent artifact ee evicted")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/multiprog"
 	"repro/internal/runner"
+	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/textplot"
 	"repro/internal/warm"
@@ -48,14 +49,11 @@ func CoRunSizes(short bool) []uint64 {
 }
 
 // CoSimConfig derives the co-run simulation setup from the sampled-
-// simulation configuration: same scale, same Table 1 machine.
+// simulation configuration: same scale, same Table 1 machine. It is the
+// spec layer's multiprog.CoSimFromWarm, re-exported where the figure
+// drivers historically found it.
 func CoSimConfig(cfg warm.Config, llcPaperBytes uint64) multiprog.CoSimConfig {
-	cs := multiprog.DefaultCoSimConfig()
-	cs.Scale = cfg.Scale
-	cs.LLCPaperBytes = llcPaperBytes
-	cs.Prefetch = cfg.Prefetch
-	cs.CPU = cfg.CPU
-	return cs
+	return multiprog.CoSimFromWarm(cfg, llcPaperBytes)
 }
 
 // CoRunCell is one (scenario, LLC size) comparison.
@@ -67,34 +65,28 @@ type CoRunCell struct {
 
 // CoRunMatrix drives the scenario × LLC-size matrix through the runner
 // engine in two passes: first the size-independent solo profiles (exact
-// histogram, base CPI, penalty fit), one job per unique app no matter how
+// histogram, base CPI, penalty fit), one spec per unique app no matter how
 // many mixes or sizes it appears in; then the per-(app, size) calibration
-// completions and the per-(mix, size) co-run simulations. The StatCC fixed
-// point is solved from the calibrations when the matrix lands. Results are
-// deterministic for any engine worker count.
+// completions — which nest the profile spec, so the runner cache, not this
+// driver, is what bounds the profiling work — and the per-(mix, size)
+// co-run simulations. The StatCC fixed point is solved from the
+// calibrations when the matrix lands. Results are deterministic for any
+// engine worker count.
 func CoRunMatrix(eng *runner.Engine, scenarios []CoRunScenario, llcPaperSizes []uint64, base warm.Config) []CoRunCell {
-	// Pass 1: size-independent solo profiles.
-	profIdx := make(map[string]int)
+	// Pass 1: size-independent solo profiles, warmed in parallel so the
+	// calibrations' nested lookups all hit the cache.
+	seen := make(map[string]bool)
 	var profJobs []runner.Job
 	for _, sc := range scenarios {
 		for _, app := range sc.Apps {
-			app := app
-			if _, dup := profIdx[app.Name]; dup {
+			if seen[app.Name] {
 				continue
 			}
-			cs := CoSimConfig(base, base.LLCPaperBytes)
-			profIdx[app.Name] = len(profJobs)
-			profJobs = append(profJobs, runner.Job{
-				Bench: app.Name, Method: "corun-profile", Cfg: base,
-				Exec: func(warm.Config) any { return multiprog.ProfileSolo(app, cs) },
-			})
+			seen[app.Name] = true
+			profJobs = append(profJobs, spec.Job(spec.CoRunProfileParamsFor(spec.Ref(app), base)))
 		}
 	}
-	profRes := eng.RunMatrix(profJobs)
-	profiles := make(map[string]multiprog.SoloProfile, len(profIdx))
-	for name, i := range profIdx {
-		profiles[name] = profRes[i].(multiprog.SoloProfile)
-	}
+	eng.RunMatrix(profJobs)
 
 	// Pass 2: target-size calibrations and co-run simulations.
 	type calKey struct {
@@ -112,27 +104,21 @@ func CoRunMatrix(eng *runner.Engine, scenarios []CoRunScenario, llcPaperSizes []
 				}
 				cfg := base
 				cfg.LLCPaperBytes = size
-				cs := CoSimConfig(cfg, size)
-				sp := profiles[app.Name]
 				calIdx[k] = len(jobs)
-				jobs = append(jobs, runner.Job{
-					Bench: app.Name, Method: "corun-cal", Extra: fmt.Sprint(size), Cfg: cfg,
-					Exec: func(warm.Config) any { return sp.Calibrate(cs) },
-				})
+				jobs = append(jobs, spec.Job(spec.CoRunCalParams{Bench: spec.Ref(app), Cfg: cfg}))
 			}
 		}
 	}
 	simBase := len(jobs)
 	for _, size := range llcPaperSizes {
 		for _, sc := range scenarios {
-			sc, size := sc, size
 			cfg := base
 			cfg.LLCPaperBytes = size
-			cs := CoSimConfig(cfg, size)
-			jobs = append(jobs, runner.Job{
-				Bench: sc.Name, Method: "corun-sim", Extra: fmt.Sprint(size), Cfg: cfg,
-				Exec: func(warm.Config) any { return multiprog.SimulateCoRun(sc.Apps, cs) },
-			})
+			refs := make([]spec.BenchRef, len(sc.Apps))
+			for i, app := range sc.Apps {
+				refs[i] = spec.Ref(app)
+			}
+			jobs = append(jobs, spec.Job(spec.CoRunSimParams{Mix: sc.Name, Apps: refs, Cfg: cfg}))
 		}
 	}
 	results := eng.RunMatrix(jobs)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dse"
 	"repro/internal/runner"
 	"repro/internal/sampling"
+	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/textplot"
 	"repro/internal/warm"
@@ -263,18 +264,15 @@ func Fig13and14(opt Options) string {
 	// (benchmark, size), all sharded together on the runner.
 	var jobs []runner.Job
 	for _, prof := range benches {
-		prof := prof
+		ref := spec.Ref(prof)
 		// The matrix pool is the unit of parallelism here, so the DSE
-		// job's inner Analyst fan-out runs serially — the per-size SMARTS
+		// spec's inner Analyst fan-out runs serially — the per-size SMARTS
 		// jobs already saturate the workers.
-		jobs = append(jobs, runner.Job{Bench: prof.Name, Method: "dse",
-			Extra: fmt.Sprint(sizes), Cfg: opt.Cfg,
-			Exec: func(cfg warm.Config) any { return dse.RunParallel(prof, cfg, sizes, 1) }})
+		jobs = append(jobs, spec.Job(spec.DSESweepParams{Bench: ref, Sizes: sizes, Cfg: opt.Cfg, Workers: 1}))
 		for _, s := range sizes {
 			cfg := opt.Cfg
 			cfg.LLCPaperBytes = s
-			jobs = append(jobs, runner.Job{Bench: prof.Name, Method: "smarts", Cfg: cfg,
-				Exec: func(cfg warm.Config) any { return warm.RunSMARTS(prof, cfg) }})
+			jobs = append(jobs, spec.Job(spec.SamplingParams{Bench: ref, Method: spec.MethodSMARTS, Cfg: cfg}))
 		}
 	}
 	results := opt.engine().RunMatrix(jobs)

@@ -1,0 +1,128 @@
+package figures
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/runner"
+	"repro/internal/spec"
+	"repro/internal/warm"
+	"repro/internal/workload"
+)
+
+func persistCfg() warm.Config {
+	cfg := warm.DefaultConfig()
+	cfg.Regions = 2
+	cfg.PaperGap = 600_000
+	cfg.Scale = 1
+	cfg.VicinityEvery = 5_000
+	return cfg
+}
+
+func persistOptions(eng *runner.Engine) Options {
+	return Options{
+		Cfg:        persistCfg(),
+		Benchmarks: workload.Benchmarks()[:2],
+		Short:      true,
+		Eng:        eng,
+	}
+}
+
+// openStore opens an artifact store over dir, failing the test on error.
+func openStore(t *testing.T, dir string) *runner.Engine {
+	t.Helper()
+	st, err := spec.OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := runner.New(0)
+	eng.Store = st
+	return eng
+}
+
+// TestWarmStoreReportByteIdentical is the acceptance check of the
+// persistence layer: a cold figures run followed by a warm run against the
+// same store directory produces byte-identical report output with zero
+// experiment executions; and a corrupted artifact degrades to a recompute,
+// never to a crash or to different bytes.
+func TestWarmStoreReportByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	only := map[string]bool{"fig5": true, "fig8": true}
+
+	cold := openStore(t, dir)
+	var out1 bytes.Buffer
+	WriteReport(&out1, persistOptions(cold), only, nil)
+	if _, misses := cold.CacheStats(); misses == 0 {
+		t.Fatal("cold run executed nothing — test is vacuous")
+	}
+
+	warmEng := openStore(t, dir)
+	var out2 bytes.Buffer
+	WriteReport(&out2, persistOptions(warmEng), only, nil)
+	if _, misses := warmEng.CacheStats(); misses != 0 {
+		t.Errorf("warm run executed %d experiments, want 0", misses)
+	}
+	if warmEng.StoreHits() == 0 {
+		t.Error("warm run never touched the store")
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Errorf("warm-store report differs from cold report:\n--- cold ---\n%s\n--- warm ---\n%s",
+			out1.String(), out2.String())
+	}
+
+	// Corrupt one artifact: the next run must recompute just that
+	// experiment — no crash — and still reproduce the same bytes.
+	var victim string
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && victim == "" {
+			victim = p
+		}
+		return nil
+	})
+	if victim == "" {
+		t.Fatal("no artifact files on disk")
+	}
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(victim, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := openStore(t, dir)
+	var out3 bytes.Buffer
+	WriteReport(&out3, persistOptions(rec), only, nil)
+	if _, misses := rec.CacheStats(); misses != 1 {
+		t.Errorf("corrupted-store run executed %d experiments, want exactly the 1 corrupted one", misses)
+	}
+	if !bytes.Equal(out1.Bytes(), out3.Bytes()) {
+		t.Error("report changed after corrupted-artifact recompute")
+	}
+}
+
+// TestCoRunMatrixWarmStore: the co-run kinds (profile, calibration,
+// simulation — including the penalty-fit and histogram payloads) survive
+// the store round-trip: a second matrix over a warm store runs zero
+// experiments and produces deep-equal cells.
+func TestCoRunMatrixWarmStore(t *testing.T) {
+	dir := t.TempDir()
+	scenarios := tinyCoRunScenarios()
+	sizes := []uint64{256 << 10}
+	base := tinyCoRunBase()
+
+	cold := openStore(t, dir)
+	first := CoRunMatrix(cold, scenarios, sizes, base)
+
+	warmEng := openStore(t, dir)
+	second := CoRunMatrix(warmEng, scenarios, sizes, base)
+	if _, misses := warmEng.CacheStats(); misses != 0 {
+		t.Errorf("warm co-run matrix executed %d jobs, want 0", misses)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("co-run cells changed across the store round-trip:\ncold: %+v\nwarm: %+v", first, second)
+	}
+}

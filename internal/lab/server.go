@@ -1,0 +1,444 @@
+// Package lab is the long-running experiment service behind cmd/labd: an
+// HTTP front over the spec → runner → artifact-store pipeline. Clients
+// POST a serialized spec (internal/spec wire form); the service validates
+// it strictly, deduplicates it against running and finished work by its
+// canonical key — concurrent identical requests ride the runner's
+// single-flight path, repeated ones are served from the in-memory cache or
+// the persistent artifact store — executes it on the shared worker pool,
+// streams per-job progress, and serves the resulting artifact.
+//
+// The same package provides the thin-CLI wiring (NewEngine,
+// ProgressPrinter) so all five command-line fronts and the service drive
+// experiments through one identical pipeline.
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/runner"
+	"repro/internal/spec"
+)
+
+// NewEngine builds the standard driver engine: the given worker bound,
+// backed by a persistent artifact store when storeDir is non-empty
+// (storeMaxBytes <= 0: unbounded). Every CLI's -store/-workers flags and
+// labd go through this single constructor.
+func NewEngine(workers int, storeDir string, storeMaxBytes int64) (*runner.Engine, *artifact.Store, error) {
+	eng := runner.New(workers)
+	if storeDir == "" {
+		return eng, nil, nil
+	}
+	st, err := spec.OpenStore(storeDir, storeMaxBytes)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open artifact store: %w", err)
+	}
+	eng.Store = st
+	return eng, st, nil
+}
+
+// ProgressPrinter returns the standard per-job progress line writer the
+// CLIs install as Engine.OnProgress.
+func ProgressPrinter(w io.Writer) func(runner.Progress) {
+	return func(p runner.Progress) {
+		tag := ""
+		switch {
+		case p.FromStore:
+			tag = " (store)"
+		case p.Cached:
+			tag = " (cached)"
+		}
+		fmt.Fprintf(w, "  [%3d/%3d] %s/%s%s %.1fs\n",
+			p.Done, p.Total, p.Bench, p.Method, tag, p.Elapsed.Seconds())
+	}
+}
+
+// JobState values.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobStatus is the wire form of one submitted spec's lifecycle.
+type JobStatus struct {
+	Key       string `json:"key"`
+	Kind      string `json:"kind"`
+	Bench     string `json:"bench"`
+	Method    string `json:"method"`
+	Extra     string `json:"extra,omitempty"`
+	State     string `json:"state"`
+	Cached    bool   `json:"cached"`     // served without executing (memory, store, or pre-existing job)
+	FromStore bool   `json:"from_store"` // subset of Cached: persistent artifact store
+	Error     string `json:"error,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+}
+
+type job struct {
+	spec      spec.Spec
+	state     string
+	cached    bool
+	fromStore bool
+	err       string
+	val       any
+	started   time.Time
+	elapsed   time.Duration
+	done      chan struct{}
+}
+
+// Server is the lab service. Construct with NewServer; it owns the
+// engine's OnProgress hook (events fan out to /v1/events subscribers and
+// drive per-job cache attribution).
+type Server struct {
+	eng   *runner.Engine
+	store *artifact.Store
+	// sem bounds concurrently executing submissions to the engine's
+	// worker budget: RunSpec executes on the caller's goroutine, so
+	// without this gate N clients would mean N concurrent experiments
+	// regardless of -workers. Jobs stay "queued" while waiting.
+	sem chan struct{}
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	subs map[chan runner.Progress]bool
+}
+
+// NewServer wires a lab service over an engine (and its optional store,
+// which may be nil — artifacts are then served from memory only).
+func NewServer(eng *runner.Engine, store *artifact.Store) *Server {
+	s := &Server{eng: eng, store: store,
+		sem:  make(chan struct{}, runner.PoolSize(eng.Workers)),
+		jobs: make(map[string]*job), subs: make(map[chan runner.Progress]bool)}
+	eng.OnProgress = s.onProgress
+	return s
+}
+
+// onProgress attributes completion events to jobs and fans them out to
+// event-stream subscribers. Calls are serialized by the engine.
+func (s *Server) onProgress(p runner.Progress) {
+	s.mu.Lock()
+	if j, ok := s.jobs[p.Key]; ok && j.state == StateRunning {
+		j.cached = p.Cached
+		j.fromStore = p.FromStore
+	}
+	for ch := range s.subs {
+		select {
+		case ch <- p:
+		default: // slow subscriber: drop, never block the engine
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/specs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{key}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{key}/wait", s.handleWait)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/artifacts/{key}", s.handleArtifact)
+	mux.HandleFunc("GET /v1/kinds", s.handleKinds)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) status(j *job) JobStatus {
+	bench, method, extra := j.spec.Identity()
+	st := JobStatus{Key: j.spec.Key(), Kind: j.spec.Kind(),
+		Bench: bench, Method: method, Extra: extra,
+		State: j.state, Cached: j.cached, FromStore: j.fromStore, Error: j.err}
+	switch j.state {
+	case StateRunning:
+		st.ElapsedMS = time.Since(j.started).Milliseconds()
+	case StateDone, StateFailed:
+		st.ElapsedMS = j.elapsed.Milliseconds()
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit accepts a spec, deduplicates it by key, and starts it if
+// new. A repeated POST of a finished spec reports state "done" with
+// cached=true — the acceptance check for "labd serves the same spec from
+// cache on a repeated request".
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	sp, err := spec.Decode(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	if j, ok := s.jobs[sp.Key()]; ok {
+		st := s.status(j)
+		if j.state == StateDone {
+			st.Cached = true
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	j := &job{spec: sp, state: StateQueued, done: make(chan struct{})}
+	s.jobs[sp.Key()] = j
+	s.mu.Unlock()
+
+	go s.run(j)
+	s.mu.Lock()
+	st := s.status(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) run(j *job) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	s.mu.Lock()
+	j.state = StateRunning
+	j.started = time.Now()
+	s.mu.Unlock()
+
+	val, err := s.eng.RunSpec(j.spec)
+
+	// Once the artifact is safely persisted, the in-memory copy is
+	// redundant (handleArtifact prefers the store) — drop it so a
+	// long-running daemon's job ledger doesn't pin every result forever.
+	if err == nil && s.store != nil {
+		if _, _, ok := s.store.Raw(j.spec.Key()); ok {
+			val = nil
+		}
+	}
+
+	s.mu.Lock()
+	j.elapsed = time.Since(j.started)
+	j.val = val
+	if err != nil {
+		j.state = StateFailed
+		j.err = err.Error()
+	} else {
+		j.state = StateDone
+	}
+	s.mu.Unlock()
+	close(j.done)
+}
+
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("key")]
+	return j, ok
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("key"))
+		return
+	}
+	s.mu.Lock()
+	st := s.status(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleWait blocks until the job finishes (or the client goes away).
+func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("key"))
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		return
+	}
+	s.mu.Lock()
+	st := s.status(j)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams engine completion events as NDJSON until the
+// client disconnects (or, with ?key=..., until that job finishes). Every
+// event carries the finished spec's key, kind and identity — for a
+// composite spec the stream shows its nested experiments completing one
+// by one, which is the service's per-job progress view.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, _ := w.(http.Flusher)
+	ch := make(chan runner.Progress, 256)
+	s.mu.Lock()
+	s.subs[ch] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.subs, ch)
+		s.mu.Unlock()
+	}()
+
+	var done chan struct{}
+	if key := r.URL.Query().Get("key"); key != "" {
+		s.mu.Lock()
+		if j, ok := s.jobs[key]; ok {
+			done = j.done
+		}
+		s.mu.Unlock()
+		if done == nil {
+			writeError(w, http.StatusNotFound, "unknown job %q", key)
+			return
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	if fl != nil {
+		fl.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case p := <-ch:
+			if err := enc.Encode(progressEvent(p)); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		case <-done:
+			// Drain anything already queued, then finish the stream.
+			for {
+				select {
+				case p := <-ch:
+					_ = enc.Encode(progressEvent(p))
+				default:
+					if fl != nil {
+						fl.Flush()
+					}
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// Event is one serialized progress event.
+type Event struct {
+	Key       string  `json:"key"`
+	Kind      string  `json:"kind"`
+	Bench     string  `json:"bench"`
+	Method    string  `json:"method"`
+	Extra     string  `json:"extra,omitempty"`
+	Cached    bool    `json:"cached"`
+	FromStore bool    `json:"from_store"`
+	ElapsedS  float64 `json:"elapsed_s"`
+}
+
+func progressEvent(p runner.Progress) Event {
+	return Event{Key: p.Key, Kind: p.Kind, Bench: p.Bench, Method: p.Method,
+		Extra: p.Extra, Cached: p.Cached, FromStore: p.FromStore,
+		ElapsedS: p.Elapsed.Seconds()}
+}
+
+// handleArtifact serves the result payload for a key: from the persistent
+// store when available (integrity-checked raw bytes), else re-encoded
+// from the in-memory result of a finished job.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if s.store != nil {
+		if payload, kind, ok := s.store.Raw(key); ok {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Artifact-Kind", kind)
+			w.Header().Set("X-Artifact-Source", "store")
+			_, _ = w.Write(payload)
+			return
+		}
+	}
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no artifact for %q", key)
+		return
+	}
+	s.mu.Lock()
+	done := j.state == StateDone
+	val := j.val
+	s.mu.Unlock()
+	if !done || val == nil {
+		// val == nil: the result was persisted and dropped from memory,
+		// but the store no longer has it (evicted or corrupted).
+		writeError(w, http.StatusNotFound, "no artifact for %q", key)
+		return
+	}
+	var codec artifact.Codec
+	for _, k := range spec.Kinds() {
+		if k.Name == j.spec.Kind() {
+			codec = k.Codec
+		}
+	}
+	payload, err := codec.Encode(val)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode artifact: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Artifact-Kind", j.spec.Kind())
+	w.Header().Set("X-Artifact-Source", "memory")
+	_, _ = w.Write(payload)
+}
+
+func (s *Server) handleKinds(w http.ResponseWriter, _ *http.Request) {
+	type kindInfo struct {
+		Name         string `json:"name"`
+		About        string `json:"about"`
+		CodecVersion int    `json:"codec_version"`
+	}
+	var out []kindInfo
+	for _, k := range spec.Kinds() {
+		out = append(out, kindInfo{Name: k.Name, About: k.About, CodecVersion: k.Codec.Version})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	hits, misses := s.eng.CacheStats()
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	st := map[string]any{
+		"jobs":       jobs,
+		"cache_hits": hits,
+		"cache_miss": misses,
+		"store_hits": s.eng.StoreHits(),
+	}
+	if s.store != nil {
+		st["store"] = s.store.Stats()
+	}
+	writeJSON(w, http.StatusOK, st)
+}

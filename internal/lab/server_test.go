@@ -1,0 +1,198 @@
+package lab_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lab"
+	"repro/internal/spec"
+	"repro/internal/warm"
+)
+
+// shortSpec returns a fast sampling spec for service tests.
+func shortSpec(t *testing.T) []byte {
+	t.Helper()
+	cfg := warm.DefaultConfig()
+	cfg.Regions = 1
+	cfg.PaperGap = 400_000
+	cfg.Scale = 1
+	cfg.VicinityEvery = 5_000
+	s := spec.MustNew(spec.SamplingParams{Bench: spec.BenchRef{Name: "mcf"}, Method: spec.MethodDeLorean, Cfg: cfg})
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func postSpec(t *testing.T, ts *httptest.Server, body []byte) lab.JobStatus {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/specs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/specs: %s", resp.Status)
+	}
+	var st lab.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, key string) lab.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st lab.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case lab.StateDone:
+			return st
+		case lab.StateFailed:
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("job did not finish in time")
+	return lab.JobStatus{}
+}
+
+// TestServiceLifecycle is the labd smoke flow as a Go test: submit a spec,
+// poll to completion, fetch the artifact, and assert a repeated POST is a
+// cache hit — plus the persistent tier: a *new* server over the same store
+// serves the spec without executing.
+func TestServiceLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	eng, store, err := lab.NewEngine(2, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(lab.NewServer(eng, store).Handler())
+	defer ts.Close()
+	body := shortSpec(t)
+
+	st := postSpec(t, ts, body)
+	if st.Key == "" || st.Kind != spec.KindSampling {
+		t.Fatalf("bad submit status: %+v", st)
+	}
+	fin := waitDone(t, ts, st.Key)
+	if fin.Cached {
+		t.Error("first run reported cached")
+	}
+
+	// Artifact fetch.
+	resp, err := http.Get(ts.URL + "/v1/artifacts/" + st.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET artifact: %s", resp.Status)
+	}
+	if k := resp.Header.Get("X-Artifact-Kind"); k != spec.KindSampling {
+		t.Errorf("artifact kind = %q", k)
+	}
+	var art struct {
+		Method   string          `json:"method"`
+		DeLorean json.RawMessage `json:"delorean"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&art); err != nil {
+		t.Fatal(err)
+	}
+	if art.Method != spec.MethodDeLorean || len(art.DeLorean) == 0 {
+		t.Errorf("unexpected artifact: %+v", art)
+	}
+
+	// Repeated POST: cache hit, no new execution.
+	_, missesBefore := eng.CacheStats()
+	again := postSpec(t, ts, body)
+	if !again.Cached || again.State != lab.StateDone {
+		t.Errorf("repeat POST not served from cache: %+v", again)
+	}
+	if _, misses := eng.CacheStats(); misses != missesBefore {
+		t.Errorf("repeat POST executed %d new jobs", misses-missesBefore)
+	}
+
+	// Persistent tier: a fresh engine + server over the same store
+	// directory serves the same spec without executing anything.
+	eng2, store2, err := lab.NewEngine(2, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(lab.NewServer(eng2, store2).Handler())
+	defer ts2.Close()
+	st2 := postSpec(t, ts2, body)
+	fin2 := waitDone(t, ts2, st2.Key)
+	if !fin2.Cached || !fin2.FromStore {
+		t.Errorf("restarted service did not serve from store: %+v", fin2)
+	}
+	if _, misses := eng2.CacheStats(); misses != 0 {
+		t.Errorf("restarted service executed %d jobs, want 0", misses)
+	}
+}
+
+// TestServiceRejectsBadSpecs: the strict decode gate is wired in.
+func TestServiceRejectsBadSpecs(t *testing.T) {
+	eng, _, _ := lab.NewEngine(1, "", 0)
+	ts := httptest.NewServer(lab.NewServer(eng, nil).Handler())
+	defer ts.Close()
+	for _, body := range []string{
+		`{"kind":"nope","params":{}}`,
+		`{"kind":"sampling","params":{"bench":{"name":"mcf"},"method":"smarts","cfg":{"Bogus":1}}}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/specs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %s, want 400", body, resp.Status)
+		}
+	}
+}
+
+// TestServiceEvents: the NDJSON event stream reports the job's completion.
+func TestServiceEvents(t *testing.T) {
+	eng, _, _ := lab.NewEngine(2, "", 0)
+	ts := httptest.NewServer(lab.NewServer(eng, nil).Handler())
+	defer ts.Close()
+
+	st := postSpec(t, ts, shortSpec(t))
+	resp, err := http.Get(ts.URL + "/v1/events?key=" + st.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	found := false
+	for sc.Scan() {
+		var ev lab.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		if ev.Key == st.Key {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("event stream never reported the submitted job")
+	}
+}

@@ -1,0 +1,17 @@
+package multiprog
+
+import "repro/internal/warm"
+
+// CoSimFromWarm derives the co-run simulation setup from the sampled-
+// simulation configuration: same scale, same Table 1 machine, the given
+// paper-scale shared-LLC capacity. This is the single place the spec
+// layer's co-run kinds and the figures driver turn a warm.Config into a
+// CoSimConfig, so the two can never disagree.
+func CoSimFromWarm(cfg warm.Config, llcPaperBytes uint64) CoSimConfig {
+	cs := DefaultCoSimConfig()
+	cs.Scale = cfg.Scale
+	cs.LLCPaperBytes = llcPaperBytes
+	cs.Prefetch = cfg.Prefetch
+	cs.CPU = cfg.CPU
+	return cs
+}

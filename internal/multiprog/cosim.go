@@ -246,18 +246,21 @@ type SoloCalibration struct {
 // everything except the target-size solo run. Collect it once per app with
 // ProfileSolo, then complete a calibration per LLC size with Calibrate —
 // the histogram pass and the three reference simulations (base CPI plus
-// the two penalty points) do not depend on the target LLC.
+// the two penalty points) do not depend on the target LLC. The struct is
+// pure data (the full workload profile rides along) so a profile decoded
+// from the artifact store calibrates exactly like a freshly collected one.
 type SoloProfile struct {
-	prof *workload.Profile
-	app  App // Hist, AccessesPerInstr, BaseCPI, PenaltyAt (MissPenalty unset)
+	Profile workload.Profile
+	App     App // Hist, AccessesPerInstr, BaseCPI, Penalty (MissPenalty unset)
 }
 
 // Calibrate completes the profile for one target LLC size by running the
 // solo simulation there.
 func (sp SoloProfile) Calibrate(cfg CoSimConfig) SoloCalibration {
-	solo := SimulateCoRun([]*workload.Profile{sp.prof}, cfg).Apps[0]
-	app := sp.app
-	app.MissPenalty = app.PenaltyAt(solo.MissRatio)
+	prof := sp.Profile
+	solo := SimulateCoRun([]*workload.Profile{&prof}, cfg).Apps[0]
+	app := sp.App
+	app.MissPenalty = app.Penalty.At(solo.MissRatio)
 	return SoloCalibration{
 		App:           app,
 		SoloCPI:       solo.CPI,
@@ -331,34 +334,14 @@ func ProfileSolo(prof *workload.Profile, cfg CoSimConfig) SoloProfile {
 	}
 	m1, p1 := refPoint(4) // small LLC: dense misses
 	m2, p2 := refPoint(2) // half-footprint LLC: sparser misses
-	penaltyAt := func(miss float64) float64 {
-		switch {
-		case p1 == 0:
-			return p2
-		case p2 == 0 || m1 == m2:
-			return p1
-		case miss <= m2:
-			return p2
-		default:
-			// Interpolate between the two points; beyond the dense point
-			// keep extrapolating (co-run miss ratios routinely exceed the
-			// solo calibration range and overlap keeps improving), floored
-			// at half the dense-point penalty.
-			pen := p2 + (p1-p2)*(miss-m2)/(m1-m2)
-			if floor := p1 / 2; pen < floor {
-				pen = floor
-			}
-			return pen
-		}
-	}
 	return SoloProfile{
-		prof: prof,
-		app: App{
+		Profile: *prof,
+		App: App{
 			Name:             prof.Name,
 			Hist:             hist,
 			AccessesPerInstr: apki,
 			BaseCPI:          base.CPI,
-			PenaltyAt:        penaltyAt,
+			Penalty:          &PenaltyFit{M1: m1, P1: p1, M2: m2, P2: p2},
 		},
 	}
 }

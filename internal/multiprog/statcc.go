@@ -28,12 +28,44 @@ type App struct {
 	BaseCPI float64
 	// MissPenalty is the additional cycles per shared-LLC miss.
 	MissPenalty float64
-	// PenaltyAt, when set, replaces the constant MissPenalty with a
+	// Penalty, when set, replaces the constant MissPenalty with a
 	// miss-ratio-dependent effective penalty. Out-of-order cores overlap
 	// dense miss streams across their MSHRs but leave sparse misses fully
 	// exposed, so the effective per-miss cost falls as the miss ratio
-	// rises; Calibrate fits this from two solo reference points.
-	PenaltyAt func(missRatio float64) float64
+	// rises; Calibrate fits this from two solo reference points. A plain
+	// data struct (not a closure) so calibrations survive the artifact
+	// store's JSON round-trip.
+	Penalty *PenaltyFit `json:",omitempty"`
+}
+
+// PenaltyFit is the two-point effective miss-penalty model: (M1, P1) is
+// the dense-miss calibration point (small reference LLC), (M2, P2) the
+// sparse one (half-footprint LLC). Zero points mark degenerate
+// calibrations (an app whose reference run never got slower than base).
+type PenaltyFit struct {
+	M1, P1 float64 // dense point: miss ratio, cycles per miss
+	M2, P2 float64 // sparse point
+}
+
+// At evaluates the fit at the given miss ratio: interpolate between the
+// two points; beyond the dense point keep extrapolating (co-run miss
+// ratios routinely exceed the solo calibration range and overlap keeps
+// improving), floored at half the dense-point penalty.
+func (f PenaltyFit) At(miss float64) float64 {
+	switch {
+	case f.P1 == 0:
+		return f.P2
+	case f.P2 == 0 || f.M1 == f.M2:
+		return f.P1
+	case miss <= f.M2:
+		return f.P2
+	default:
+		pen := f.P2 + (f.P1-f.P2)*(miss-f.M2)/(f.M1-f.M2)
+		if floor := f.P1 / 2; pen < floor {
+			pen = floor
+		}
+		return pen
+	}
 }
 
 // AppResult is the converged prediction for one application.
@@ -96,8 +128,8 @@ func Solve(apps []App, llcLines uint64, maxIters int) []AppResult {
 		for i, a := range apps {
 			miss[i] = m.MissRatio(dilated[i], llcLines)
 			pen := a.MissPenalty
-			if a.PenaltyAt != nil {
-				pen = a.PenaltyAt(miss[i])
+			if a.Penalty != nil {
+				pen = a.Penalty.At(miss[i])
 			}
 			next := a.BaseCPI + miss[i]*a.AccessesPerInstr*pen
 			// Damped update: the miss-ratio curve can be steep enough at

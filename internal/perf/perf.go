@@ -56,15 +56,20 @@ type Scenario struct {
 	// returns the per-repetition step function. Each step processes one
 	// steady-state window — construction cost lives in Setup or inside the
 	// step, whichever matches how real callers amortize it — and returns
-	// the number of memory accesses it drove.
-	Setup func(quick bool) func() uint64
+	// the number of memory accesses it drove. Setup may also return a
+	// cleanup function (nil if none) that Run invokes after measurement —
+	// the hook scenarios with on-disk state use to remove it.
+	Setup func(quick bool) (step func() uint64, cleanup func())
 }
 
 // Run measures one scenario: a warm-up repetition (faults in tables and
 // sizes the flat structures so the measured window is steady state), then
 // repetitions until targetDur has elapsed (at least two).
 func Run(s Scenario, quick bool, targetDur time.Duration) Measurement {
-	step := s.Setup(quick)
+	step, cleanup := s.Setup(quick)
+	if cleanup != nil {
+		defer cleanup()
+	}
 	step() // warm-up repetition, unmeasured
 	runtime.GC()
 	var before, after runtime.MemStats

@@ -21,7 +21,10 @@ func TestScenariosRun(t *testing.T) {
 	for _, s := range Scenarios() {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
-			step := s.Setup(true)
+			step, cleanup := s.Setup(true)
+			if cleanup != nil {
+				defer cleanup()
+			}
 			if n := step(); n == 0 {
 				t.Fatalf("scenario %s drove 0 accesses", s.Name)
 			}
@@ -104,7 +107,7 @@ func TestReportRoundTripAndCompare(t *testing.T) {
 func TestRunProducesMeasurement(t *testing.T) {
 	s := Scenario{
 		Name:  "unit",
-		Setup: func(bool) func() uint64 { return func() uint64 { return 1000 } },
+		Setup: func(bool) (func() uint64, func()) { return func() uint64 { return 1000 }, nil },
 	}
 	m := Run(s, true, time.Millisecond)
 	if m.Reps < 2 || m.Accesses < 2000 || m.NsPerAccess <= 0 {

@@ -1,12 +1,16 @@
 package perf
 
 import (
+	"fmt"
+	"os"
+
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/mem"
 	"repro/internal/multiprog"
 	"repro/internal/reuse"
+	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/vm"
 	"repro/internal/warm"
@@ -15,7 +19,7 @@ import (
 
 // Scenarios returns the standard suite in reporting order.
 func Scenarios() []Scenario {
-	return []Scenario{SoloPipeline(), CorunCell(), DSEFanout(), KeyReuse()}
+	return []Scenario{SoloPipeline(), CorunCell(), DSEFanout(), KeyReuse(), StoreRoundTrip()}
 }
 
 // Named returns the scenarios matching the given names (nil names = all).
@@ -47,7 +51,7 @@ func SoloPipeline() Scenario {
 	return Scenario{
 		Name: "solo-pipeline",
 		Desc: "batched trace gen -> hierarchy -> exact reuse monitor -> histogram",
-		Setup: func(quick bool) func() uint64 {
+		Setup: func(quick bool) (func() uint64, func()) {
 			window := uint64(4 << 20)
 			if quick {
 				window = 1 << 20
@@ -68,7 +72,7 @@ func SoloPipeline() Scenario {
 					mon.ObserveHist(batch, hist, 0)
 				}
 				return prog.MemIndex() - start
-			}
+			}, nil
 		},
 	}
 }
@@ -82,7 +86,7 @@ func CorunCell() Scenario {
 	return Scenario{
 		Name: "corun-cell",
 		Desc: "4-core shared-LLC co-run simulation, one matrix cell",
-		Setup: func(quick bool) func() uint64 {
+		Setup: func(quick bool) (func() uint64, func()) {
 			cfg := multiprog.DefaultCoSimConfig()
 			if quick {
 				cfg.WarmupInstr = 50_000
@@ -98,7 +102,7 @@ func CorunCell() Scenario {
 					n += a.Stats.MemAccesses
 				}
 				return n
-			}
+			}, nil
 		},
 	}
 }
@@ -110,7 +114,7 @@ func DSEFanout() Scenario {
 	return Scenario{
 		Name: "dse-fanout",
 		Desc: "one warm-up region fanned out to 3 Analyst LLC sizes",
-		Setup: func(quick bool) func() uint64 {
+		Setup: func(quick bool) (func() uint64, func()) {
 			prof := workload.CactusADM()
 			cfg := warm.DefaultConfig()
 			cfg.Scale = 256
@@ -155,9 +159,70 @@ func DSEFanout() Scenario {
 					end += e.Prog.MemIndex()
 				}
 				return end - start
-			}
+			}, nil
 		},
 	}
+}
+
+// StoreRoundTrip covers the persistence layer: encode + atomically persist
+// + load + integrity-check + decode of representative artifacts (a
+// sampled-simulation result with per-region stats and a full counter
+// ledger) through the real spec codec and artifact store, exactly the
+// cost a warm `figures -store` run pays per cache hit. The work unit is
+// one artifact round-trip, so ns/access here means ns per round-trip —
+// comparable across runs of this scenario, not across scenarios.
+func StoreRoundTrip() Scenario {
+	return Scenario{
+		Name: "store",
+		Desc: "artifact encode/persist/load/decode round-trip (unit: artifacts)",
+		Setup: func(quick bool) (func() uint64, func()) {
+			keys := 64
+			if quick {
+				keys = 16
+			}
+			dir, err := os.MkdirTemp("", "delorean-bench-store-")
+			if err != nil {
+				panic(err)
+			}
+			st, err := spec.OpenStore(dir, 0)
+			if err != nil {
+				panic(err)
+			}
+			res := syntheticResult()
+			return func() uint64 {
+				for i := 0; i < keys; i++ {
+					key := fmt.Sprintf("%064x", i)
+					st.Save(spec.KindSampling, key, res)
+					if _, ok := st.Load(spec.KindSampling, key); !ok {
+						panic("store: freshly saved artifact missing")
+					}
+				}
+				return uint64(keys)
+			}, func() { _ = os.RemoveAll(dir) }
+		},
+	}
+}
+
+// syntheticResult builds a paper-shaped sampling artifact: 10 regions of
+// detailed stats plus a realistic counter ledger.
+func syntheticResult() *warm.Result {
+	r := &warm.Result{Bench: "synthetic", Method: "SMARTS", Counters: stats.NewCounters()}
+	rng := stats.NewRNG(7)
+	for m := 0; m < 10; m++ {
+		r.Regions = append(r.Regions, warm.RegionResult{
+			Start: uint64(m+1) * 1_000_000,
+			Stats: cpu.Stats{
+				Instructions: 10_000, Cycles: 8_000 + rng.Uint64n(4_000),
+				MemAccesses: 3_500, L1DHits: 3_200, MSHRHits: 60,
+				LLCHits: 120, MemServed: 120, BrLookups: 1_800, BrMispred: 90,
+			},
+			LLCMisses: rng.Uint64n(200),
+		})
+	}
+	for i := 0; i < 24; i++ {
+		r.Counters.Add(fmt.Sprintf("win/synthetic_%02d", i), float64(rng.Uint64n(1<<32)))
+	}
+	return r
 }
 
 // KeyReuse is the directed-profiling loop in isolation: a Scout pass picks
@@ -170,7 +235,7 @@ func KeyReuse() Scenario {
 	return Scenario{
 		Name: "key-reuse",
 		Desc: "Scout key extraction + Explorer VDP window over armed watchpoints",
-		Setup: func(quick bool) func() uint64 {
+		Setup: func(quick bool) (func() uint64, func()) {
 			prof := workload.Zeusmp()
 			cfg := warm.DefaultConfig()
 			cfg.Scale = 256
@@ -241,7 +306,7 @@ func KeyReuse() Scenario {
 				collector.Finalize(1)
 				wps.Clear()
 				return scout.Prog.MemIndex() + exp.Prog.MemIndex() - start
-			}
+			}, nil
 		},
 	}
 }

@@ -1,118 +1,120 @@
 // Package runner is the sharded experiment-execution engine every
 // evaluation driver in the repository goes through: the sampling layer's
 // benchmark × methodology matrix, the figures' sensitivity sweeps, the
-// design-space exploration's Analyst fan-out and all four CLIs.
+// design-space exploration's Analyst fan-out, the co-run matrix, the lab
+// service and all CLIs.
 //
-// A Job is declarative — a benchmark name, a method label and a
-// warm.Config variant — plus the closure that executes it. The engine
-// provides what every caller used to hand-roll:
+// A Job is declarative: a Spec — a registered, named experiment kind with
+// a serializable parameter struct (see internal/spec) — whose canonical
+// SHA-256 key is the unit of identity. The engine provides what every
+// caller used to hand-roll:
 //
 //   - a bounded worker pool (GOMAXPROCS by default, overridable), instead
 //     of one goroutine per job;
-//   - deterministic per-job RNG seeding derived from the job's identity,
-//     so results are bit-identical no matter how many workers run the
-//     matrix or in which order jobs are scheduled;
-//   - a content-hash result cache with single-flight semantics: figures
-//     that share a configuration (Fig. 5-8 all consume the same 8 MiB
-//     comparison; Fig. 11's default-density point equals the baseline)
-//     never re-run a job, even when submitted concurrently;
-//   - streaming progress callbacks so CLIs can report completion without
-//     owning the scheduling.
+//   - a two-tier result cache with single-flight semantics: an in-memory
+//     map spanning the engine's lifetime, optionally backed by a
+//     persistent artifact store (internal/artifact), so identical
+//     experiments never re-run — not within a matrix, not across matrices,
+//     and with a store not even across processes;
+//   - nested execution (Sub): a composite spec runs its sub-experiments
+//     through the same engine, sharing the cache and the single-flight
+//     path (e.g. a co-run calibration reuses the app's size-independent
+//     solo profile no matter which matrix cell asks first);
+//   - streaming progress callbacks so CLIs and the lab service can report
+//     completion without owning the scheduling.
 package runner
 
 import (
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"time"
-
-	"repro/internal/warm"
 )
 
-// Job is one unit of experiment execution: a benchmark evaluated under one
-// method and one configuration. The (Bench, Method, Extra, Cfg) tuple is
-// the job's identity — it keys the result cache and derives the per-job
-// seed — so Exec must be a pure function of that tuple and the config it
-// receives. In particular, Bench must pin the workload content: two jobs
-// sharing a Bench name and config on one engine are treated as the same
-// experiment and share a cached result, so a profile not fully determined
-// by its name must fold the distinguishing fields into Extra.
+// Spec is the runner's view of a declarative experiment: a named kind, a
+// canonical content-hash key, a human-readable identity triple, and an
+// executor. The concrete implementation lives in internal/spec; the
+// interface lives here so the runner does not depend on the registry (the
+// registry's executors depend on packages that use the runner).
+type Spec interface {
+	// Kind is the registered experiment kind (e.g. "sampling", "dse-sweep").
+	Kind() string
+	// Key is the canonical-encoding SHA-256 of the spec. Two specs with
+	// equal keys are the same experiment and share one result.
+	Key() string
+	// Identity returns the (bench, method, extra) triple that labels
+	// progress events and derives the per-job RNG seed stream.
+	Identity() (bench, method, extra string)
+	// Run executes the experiment. Sub-experiments must go through sub so
+	// they hit the engine's cache and single-flight path.
+	Run(sub Sub) (any, error)
+}
+
+// Sub lets an executing spec run nested specs on the same engine.
+type Sub interface {
+	RunSpec(s Spec) (any, error)
+}
+
+// Store is the persistent tier behind the in-memory result cache. Load
+// misses on absent, corrupt or incompatible artifacts (never errors — the
+// runner recomputes); Save persists best-effort. internal/artifact
+// implements it.
+type Store interface {
+	Load(kind, key string) (any, bool)
+	Save(kind, key string, val any)
+}
+
+// Job is one unit of experiment execution.
 type Job struct {
-	Bench  string
-	Method string
-	// Extra distinguishes jobs whose identity goes beyond the config —
-	// e.g. a DSE job's LLC size list.
-	Extra string
-	Cfg   warm.Config
-	// Exec runs the experiment. It receives Cfg with the per-job seed
-	// already derived (see SeededCfg).
-	Exec func(cfg warm.Config) any
+	Spec Spec
 }
 
-// Key returns the content-hash cache key of the job's identity. Two jobs
-// with the same benchmark, method, extra tag and configuration are the
-// same experiment and share one result.
-func (j Job) Key() string {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%s|%s|%#v", j.Bench, j.Method, j.Extra, j.Cfg)
-	return fmt.Sprintf("%016x", h.Sum64())
-}
-
-// SeededCfg returns the job's configuration with Seed replaced by a value
-// derived from the base seed and the job's identity. Every job therefore
-// draws from its own deterministic stream: results do not depend on worker
-// count or scheduling order, and probabilistic draws are decorrelated
-// across benchmarks. Seed currently feeds only CoolSim's RSW oracle (the
-// workload carries its own seed), and every driver keys CoolSim jobs the
-// same way, so a given (bench, cfg) reports identical numbers in every
-// figure and CLI.
-func (j Job) SeededCfg() warm.Config {
-	cfg := j.Cfg
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%s|%s", j.Bench, j.Method, j.Extra)
-	cfg.Seed = mix64(cfg.Seed ^ h.Sum64())
-	return cfg
-}
-
-// mix64 is the splitmix64 finalizer, used to spread the identity hash.
-func mix64(z uint64) uint64 {
-	z += 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
+// Key returns the job's cache key (the spec's canonical content hash).
+func (j Job) Key() string { return j.Spec.Key() }
 
 // Progress is one streaming completion event.
 type Progress struct {
 	Done, Total int
-	Job         Job
-	Cached      bool
-	Elapsed     time.Duration
+	// Kind/Key identify the spec; Bench/Method/Extra are its display triple.
+	Kind, Key            string
+	Bench, Method, Extra string
+	// Cached marks results not executed by this call; FromStore marks the
+	// subset served by the persistent artifact store.
+	Cached    bool
+	FromStore bool
+	Elapsed   time.Duration
 }
 
-// Engine executes job matrices on a bounded worker pool with a
-// single-flight result cache. The zero value is not usable; construct
-// with New. An Engine may be shared across many RunMatrix calls (and
-// goroutines) so that the cache spans a whole CLI run.
+// Engine executes job matrices on a bounded worker pool with a two-tier
+// single-flight result cache. The zero value is not usable; construct with
+// New. An Engine may be shared across many RunMatrix/RunSpec calls (and
+// goroutines) so that the cache spans a whole CLI run or service lifetime.
 type Engine struct {
 	// Workers bounds concurrent jobs; <= 0 means GOMAXPROCS.
 	Workers int
-	// OnProgress, when set, streams one event per completed job. Calls are
-	// serialized, so callers may write terminal output directly.
+	// OnProgress, when set, streams one event per completed job (nested
+	// sub-specs included). Calls are serialized, so callers may write
+	// terminal output directly.
 	OnProgress func(Progress)
+	// Store, when set, backs the in-memory cache with persistent
+	// artifacts: misses consult the store before executing, and freshly
+	// executed results are persisted.
+	Store Store
 
-	mu     sync.Mutex
-	cache  map[string]*cacheEntry
-	hits   uint64
-	misses uint64
+	mu        sync.Mutex
+	cache     map[string]*cacheEntry
+	hits      uint64
+	misses    uint64
+	storeHits uint64
 
 	progMu sync.Mutex
 }
 
 type cacheEntry struct {
-	done chan struct{}
-	val  any
+	done      chan struct{}
+	val       any
+	err       error
+	fromStore bool
 }
 
 // New returns an engine with the given worker bound (<= 0: GOMAXPROCS).
@@ -128,59 +130,106 @@ func PoolSize(workers int) int {
 	return workers
 }
 
-// CacheStats returns how many job lookups hit and missed the result cache.
+// CacheStats returns how many job lookups hit the in-memory cache and how
+// many executed (store hits count as neither — see StoreHits).
 func (e *Engine) CacheStats() (hits, misses uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.hits, e.misses
 }
 
+// StoreHits returns how many job lookups were served by the persistent
+// artifact store without executing.
+func (e *Engine) StoreHits() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.storeHits
+}
+
 // RunMatrix executes the jobs and returns their results in matrix order.
-// Duplicate jobs — within the matrix or against earlier matrices on the
-// same engine — execute once and share the cached result.
+// Duplicate jobs — within the matrix, against earlier matrices on the same
+// engine, or against a persisted artifact — execute once and share the
+// cached result. An executor error panics: driver-side specs are validated
+// at construction, so a failing executor is a bug, not an input error
+// (the lab service, which takes untrusted specs, validates at decode and
+// uses RunSpec, which returns errors).
 func (e *Engine) RunMatrix(jobs []Job) []any {
 	out := make([]any, len(jobs))
 	done := 0
 	ForEach(len(jobs), e.Workers, func(i int) {
-		out[i] = e.runJob(jobs[i], len(jobs), &done)
+		v, err := e.runJob(jobs[i].Spec, len(jobs), &done)
+		if err != nil {
+			bench, method, _ := jobs[i].Spec.Identity()
+			panic(fmt.Sprintf("runner: job %s/%s (%s): %v", bench, method, jobs[i].Spec.Kind(), err))
+		}
+		out[i] = v
 	})
 	return out
 }
 
-// runJob executes one job with single-flight caching: the first caller of
-// a key runs it, concurrent duplicates block until the result lands.
-func (e *Engine) runJob(j Job, total int, done *int) any {
+// RunSpec executes (or serves from cache) a single spec on the engine's
+// cache and single-flight path. It is both the Sub implementation handed
+// to executors for nested experiments and the lab service's entry point.
+func (e *Engine) RunSpec(s Spec) (any, error) {
+	done := 0
+	return e.runJob(s, 1, &done)
+}
+
+// runJob executes one spec with single-flight caching: the first caller of
+// a key runs it (consulting the persistent store first), concurrent
+// duplicates block until the result lands.
+func (e *Engine) runJob(s Spec, total int, done *int) (any, error) {
 	start := time.Now()
-	key := j.Key()
+	key := s.Key()
 	e.mu.Lock()
 	if ent, ok := e.cache[key]; ok {
 		e.hits++
 		e.mu.Unlock()
 		<-ent.done
-		e.progress(j, total, done, true, time.Since(start))
-		return ent.val
+		e.progress(s, key, total, done, true, ent.fromStore, time.Since(start))
+		return ent.val, ent.err
 	}
 	ent := &cacheEntry{done: make(chan struct{})}
 	e.cache[key] = ent
-	e.misses++
 	e.mu.Unlock()
 
-	ent.val = j.Exec(j.SeededCfg())
+	if e.Store != nil {
+		if v, ok := e.Store.Load(s.Kind(), key); ok {
+			ent.val, ent.fromStore = v, true
+			e.mu.Lock()
+			e.storeHits++
+			e.mu.Unlock()
+			close(ent.done)
+			e.progress(s, key, total, done, true, true, time.Since(start))
+			return ent.val, nil
+		}
+	}
+
+	e.mu.Lock()
+	e.misses++
+	e.mu.Unlock()
+	ent.val, ent.err = s.Run(e)
+	if ent.err == nil && e.Store != nil {
+		e.Store.Save(s.Kind(), key, ent.val)
+	}
 	close(ent.done)
-	e.progress(j, total, done, false, time.Since(start))
-	return ent.val
+	e.progress(s, key, total, done, false, false, time.Since(start))
+	return ent.val, ent.err
 }
 
-func (e *Engine) progress(j Job, total int, done *int, cached bool, d time.Duration) {
+func (e *Engine) progress(s Spec, key string, total int, done *int, cached, fromStore bool, d time.Duration) {
 	if e.OnProgress == nil {
 		e.progMu.Lock()
 		*done++
 		e.progMu.Unlock()
 		return
 	}
+	bench, method, extra := s.Identity()
 	e.progMu.Lock()
 	*done++
-	p := Progress{Done: *done, Total: total, Job: j, Cached: cached, Elapsed: d}
+	p := Progress{Done: *done, Total: total, Kind: s.Kind(), Key: key,
+		Bench: bench, Method: method, Extra: extra,
+		Cached: cached, FromStore: fromStore, Elapsed: d}
 	e.OnProgress(p)
 	e.progMu.Unlock()
 }

@@ -1,12 +1,13 @@
 package runner_test
 
 import (
+	"fmt"
 	"reflect"
 	"sync/atomic"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/spec"
 	"repro/internal/warm"
 	"repro/internal/workload"
 )
@@ -31,61 +32,29 @@ func testProf(name string, seed uint64) *workload.Profile {
 	}
 }
 
-// matrix builds a small mixed-method job matrix over two benchmarks.
+// matrix builds a small mixed-method spec matrix over two benchmarks
+// outside the suite — their profiles ride inline in the specs.
 func matrix(cfg warm.Config) []runner.Job {
 	var jobs []runner.Job
 	for _, p := range []*workload.Profile{testProf("rt-a", 11), testProf("rt-b", 23)} {
-		p := p
-		jobs = append(jobs,
-			runner.Job{Bench: p.Name, Method: "smarts", Cfg: cfg,
-				Exec: func(cfg warm.Config) any { return warm.RunSMARTS(p, cfg) }},
-			runner.Job{Bench: p.Name, Method: "coolsim", Cfg: cfg,
-				Exec: func(cfg warm.Config) any { return warm.RunCoolSim(p, cfg) }},
-			runner.Job{Bench: p.Name, Method: "delorean", Cfg: cfg,
-				Exec: func(cfg warm.Config) any { return core.Run(p, cfg) }},
-		)
+		for _, m := range []string{spec.MethodSMARTS, spec.MethodCoolSim, spec.MethodDeLorean} {
+			jobs = append(jobs, spec.Job(spec.SamplingParams{Bench: spec.Ref(p), Method: m, Cfg: cfg}))
+		}
 	}
 	return jobs
 }
 
-func TestKeyIdentity(t *testing.T) {
-	cfg := testCfg()
-	a := runner.Job{Bench: "x", Method: "smarts", Cfg: cfg}
-	b := runner.Job{Bench: "x", Method: "smarts", Cfg: cfg}
-	if a.Key() != b.Key() {
-		t.Error("identical jobs must share a key")
-	}
-	c := a
-	c.Method = "coolsim"
-	if a.Key() == c.Key() {
-		t.Error("method must be part of the key")
-	}
-	d := a
-	d.Extra = "sizes=[1,2]"
-	if a.Key() == d.Key() {
-		t.Error("extra must be part of the key")
-	}
-	e := a
-	e.Cfg.VicinityEvery++
-	if a.Key() == e.Key() {
-		t.Error("config must be part of the key")
-	}
+// fnSpec is a closure-backed test spec for engine-mechanics tests that
+// need to count or order executions without paying for real experiments.
+type fnSpec struct {
+	key  string
+	exec func(sub runner.Sub) (any, error)
 }
 
-func TestSeededCfgDeterministic(t *testing.T) {
-	cfg := testCfg()
-	a := runner.Job{Bench: "x", Method: "smarts", Cfg: cfg}
-	if a.SeededCfg().Seed != a.SeededCfg().Seed {
-		t.Error("seed derivation must be deterministic")
-	}
-	if a.SeededCfg().Seed == cfg.Seed {
-		t.Error("per-job seed should differ from the base seed")
-	}
-	b := runner.Job{Bench: "y", Method: "smarts", Cfg: cfg}
-	if a.SeededCfg().Seed == b.SeededCfg().Seed {
-		t.Error("different benchmarks must draw from different streams")
-	}
-}
+func (s fnSpec) Kind() string                       { return "test" }
+func (s fnSpec) Key() string                        { return s.key }
+func (s fnSpec) Identity() (string, string, string) { return "t", "test", s.key }
+func (s fnSpec) Run(sub runner.Sub) (any, error)    { return s.exec(sub) }
 
 // TestDeterminismAcrossWorkerCounts is the runner's core guarantee: the
 // same matrix run serially and with a full worker pool produces
@@ -110,13 +79,11 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 // TestCacheSingleFlight: duplicate jobs — across matrices and within one —
 // must execute exactly once.
 func TestCacheSingleFlight(t *testing.T) {
-	cfg := testCfg()
 	var execs int32
-	job := runner.Job{Bench: "rt-a", Method: "count", Cfg: cfg,
-		Exec: func(cfg warm.Config) any {
-			atomic.AddInt32(&execs, 1)
-			return cfg.Seed
-		}}
+	job := runner.Job{Spec: fnSpec{key: "sf", exec: func(runner.Sub) (any, error) {
+		atomic.AddInt32(&execs, 1)
+		return "result", nil
+	}}}
 	eng := runner.New(4)
 	first := eng.RunMatrix([]runner.Job{job, job, job, job})
 	second := eng.RunMatrix([]runner.Job{job})
@@ -137,13 +104,79 @@ func TestCacheSingleFlight(t *testing.T) {
 	}
 }
 
-func TestRunMatrixOrderAndProgress(t *testing.T) {
+// TestNestedRunSpec: a composite spec's sub-experiments share the cache
+// and single-flight path with top-level jobs.
+func TestNestedRunSpec(t *testing.T) {
+	var innerExecs int32
+	inner := fnSpec{key: "inner", exec: func(runner.Sub) (any, error) {
+		atomic.AddInt32(&innerExecs, 1)
+		return 7, nil
+	}}
+	outer := func(key string) runner.Job {
+		return runner.Job{Spec: fnSpec{key: key, exec: func(sub runner.Sub) (any, error) {
+			v, err := sub.RunSpec(inner)
+			if err != nil {
+				return nil, err
+			}
+			return v.(int) + 1, nil
+		}}}
+	}
+	eng := runner.New(4)
+	out := eng.RunMatrix([]runner.Job{outer("o1"), outer("o2"), outer("o3")})
+	for i, v := range out {
+		if v.(int) != 8 {
+			t.Errorf("outer %d = %v, want 8", i, v)
+		}
+	}
+	if n := atomic.LoadInt32(&innerExecs); n != 1 {
+		t.Errorf("nested spec executed %d times, want 1", n)
+	}
+}
+
+// TestStoreBackedCache: a fresh engine sharing only the artifact store
+// with a previous one must serve the whole matrix from disk — zero
+// executions — and reproduce the results exactly.
+func TestStoreBackedCache(t *testing.T) {
 	cfg := testCfg()
+	dir := t.TempDir()
+
+	st1, err := spec.OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := runner.New(4)
+	cold.Store = st1
+	first := cold.RunMatrix(matrix(cfg))
+	if _, misses := cold.CacheStats(); misses != uint64(len(first)) {
+		t.Fatalf("cold run executed %d jobs, want %d", misses, len(first))
+	}
+
+	st2, err := spec.OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmEng := runner.New(4)
+	warmEng.Store = st2
+	second := warmEng.RunMatrix(matrix(cfg))
+	if _, misses := warmEng.CacheStats(); misses != 0 {
+		t.Errorf("warm run executed %d jobs, want 0", misses)
+	}
+	if got, want := warmEng.StoreHits(), uint64(len(first)); got != want {
+		t.Errorf("warm run store hits = %d, want %d", got, want)
+	}
+	for i := range first {
+		if !reflect.DeepEqual(first[i], second[i]) {
+			t.Errorf("job %d: store round-trip changed the result", i)
+		}
+	}
+}
+
+func TestRunMatrixOrderAndProgress(t *testing.T) {
 	var jobs []runner.Job
 	for i := 0; i < 17; i++ {
 		i := i
-		jobs = append(jobs, runner.Job{Bench: "b", Method: "m", Extra: string(rune('a' + i)), Cfg: cfg,
-			Exec: func(warm.Config) any { return i }})
+		jobs = append(jobs, runner.Job{Spec: fnSpec{key: fmt.Sprintf("k%02d", i),
+			exec: func(runner.Sub) (any, error) { return i, nil }}})
 	}
 	eng := runner.New(3)
 	var events int
@@ -154,6 +187,9 @@ func TestRunMatrixOrderAndProgress(t *testing.T) {
 		}
 		if p.Done < 1 || p.Done > len(jobs) {
 			t.Errorf("progress done out of range: %d", p.Done)
+		}
+		if p.Kind != "test" || p.Bench != "t" {
+			t.Errorf("progress identity = %q/%q", p.Kind, p.Bench)
 		}
 	}
 	out := eng.RunMatrix(jobs)

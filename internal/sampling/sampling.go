@@ -8,6 +8,7 @@ package sampling
 import (
 	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/warm"
 	"repro/internal/workload"
@@ -43,9 +44,9 @@ type Options struct {
 }
 
 // RunAll evaluates the given benchmarks under the selected methodologies
-// by building a declarative (benchmark × methodology) job matrix and
+// by building a declarative (benchmark × methodology) spec matrix and
 // running it on the sharded runner engine. Results are deterministic for
-// any worker count: each job's RNG seed derives from its identity, not
+// any worker count: each spec's RNG seed derives from its identity, not
 // from scheduling order.
 func RunAll(profs []*workload.Profile, cfg warm.Config, opt Options) *Comparison {
 	cmp := &Comparison{Cfg: cfg, Benches: make([]BenchResult, len(profs))}
@@ -56,21 +57,19 @@ func RunAll(profs []*workload.Profile, cfg warm.Config, opt Options) *Comparison
 	var jobs []runner.Job
 	var assign []func(any)
 	for i, p := range profs {
-		i, p := i, p
+		i := i
+		ref := spec.Ref(p)
 		cmp.Benches[i].Bench = p.Name
 		if !opt.SkipSMARTS {
-			jobs = append(jobs, runner.Job{Bench: p.Name, Method: "smarts", Cfg: cfg,
-				Exec: func(cfg warm.Config) any { return warm.RunSMARTS(p, cfg) }})
+			jobs = append(jobs, spec.Job(spec.SamplingParams{Bench: ref, Method: spec.MethodSMARTS, Cfg: cfg}))
 			assign = append(assign, func(v any) { cmp.Benches[i].SMARTS = v.(*warm.Result) })
 		}
 		if !opt.SkipCoolSim {
-			jobs = append(jobs, runner.Job{Bench: p.Name, Method: "coolsim", Cfg: cfg,
-				Exec: func(cfg warm.Config) any { return warm.RunCoolSim(p, cfg) }})
+			jobs = append(jobs, spec.Job(spec.SamplingParams{Bench: ref, Method: spec.MethodCoolSim, Cfg: cfg}))
 			assign = append(assign, func(v any) { cmp.Benches[i].CoolSim = v.(*warm.Result) })
 		}
 		if !opt.SkipDeLorean {
-			jobs = append(jobs, runner.Job{Bench: p.Name, Method: "delorean", Cfg: cfg,
-				Exec: func(cfg warm.Config) any { return core.Run(p, cfg) }})
+			jobs = append(jobs, spec.Job(spec.SamplingParams{Bench: ref, Method: spec.MethodDeLorean, Cfg: cfg}))
 			assign = append(assign, func(v any) { cmp.Benches[i].DeLorean = v.(*core.Result) })
 		}
 	}

@@ -1,0 +1,354 @@
+package spec
+
+// The registered experiment kinds. Every evaluation the repository can
+// produce is one of these five, parameterized:
+//
+//   sampling        one benchmark under one methodology (SMARTS, CoolSim,
+//                   DeLorean) at one configuration — the unit of the
+//                   benchmark × methodology matrix and of every figure
+//                   sweep cell (a sweep cell is a sampling run with a
+//                   varied config);
+//   dse-sweep       one benchmark explored across many LLC sizes from a
+//                   single shared warm-up (Fig. 13/14, cmd/dse,
+//                   cmd/wscurve — a working-set curve is the MPKI view of
+//                   this kind's result);
+//   corun-profile   the size-independent solo profile of one app (exact
+//                   reuse histogram, base CPI, penalty fit);
+//   corun-calibrate the per-(app, LLC size) calibration completion; runs
+//                   the app's corun-profile as a nested spec so the
+//                   expensive profile is shared across sizes;
+//   corun-sim       one simulated shared-LLC co-run matrix cell.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/multiprog"
+	"repro/internal/runner"
+	"repro/internal/warm"
+	"repro/internal/workload"
+)
+
+// Registered kind names.
+const (
+	KindSampling       = "sampling"
+	KindDSESweep       = "dse-sweep"
+	KindCoRunProfile   = "corun-profile"
+	KindCoRunCalibrate = "corun-calibrate"
+	KindCoRunSim       = "corun-sim"
+)
+
+// Sampling methodology names.
+const (
+	MethodSMARTS   = "smarts"
+	MethodCoolSim  = "coolsim"
+	MethodDeLorean = "delorean"
+)
+
+// jsonCodec builds the standard artifact codec for result type T.
+func jsonCodec[T any](version int) artifact.Codec {
+	return artifact.Codec{
+		Version: version,
+		Encode:  func(v any) ([]byte, error) { return json.Marshal(v) },
+		Decode: func(b []byte) (any, error) {
+			var out T
+			if err := json.Unmarshal(b, &out); err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+	}
+}
+
+// ---------------------------------------------------------------- sampling
+
+// SamplingParams evaluates one benchmark under one methodology.
+type SamplingParams struct {
+	Bench  BenchRef    `json:"bench"`
+	Method string      `json:"method"` // smarts | coolsim | delorean
+	Cfg    warm.Config `json:"cfg"`
+}
+
+func (SamplingParams) Kind() string { return KindSampling }
+
+func (p SamplingParams) Identity() (bench, method, extra string) {
+	return p.Bench.Name, p.Method, ""
+}
+
+func (p SamplingParams) benchRefs() []BenchRef { return []BenchRef{p.Bench} }
+
+// samplingArtifact wraps the method-dependent result type so one codec
+// covers the kind: SMARTS/CoolSim produce *warm.Result, DeLorean the
+// extended *core.Result with per-pass ledgers.
+type samplingArtifact struct {
+	Method   string       `json:"method"`
+	Warm     *warm.Result `json:"warm,omitempty"`
+	DeLorean *core.Result `json:"delorean,omitempty"`
+}
+
+func runSampling(p Params, _ runner.Sub) (any, error) {
+	sp := p.(SamplingParams)
+	prof, err := sp.Bench.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	bench, method, extra := sp.Identity()
+	cfg := SeedConfig(sp.Cfg, bench, method, extra)
+	switch sp.Method {
+	case MethodSMARTS:
+		return warm.RunSMARTS(prof, cfg), nil
+	case MethodCoolSim:
+		return warm.RunCoolSim(prof, cfg), nil
+	case MethodDeLorean:
+		return core.Run(prof, cfg), nil
+	}
+	return nil, fmt.Errorf("unknown method %q", sp.Method)
+}
+
+// ---------------------------------------------------------------- dse-sweep
+
+// DSESweepParams explores one benchmark across paper-scale LLC sizes from
+// a single shared warm-up. Workers is a scheduling hint, not identity: any
+// bound produces identical results (dse.RunParallel's contract), so it is
+// excluded from serialization and the key. Because it never rides the
+// wire, a decoded spec always has Workers == 0, which executes the
+// Analyst fan-out serially — the lab service's -workers gate bounds
+// concurrency across specs, so a spec must not fan out on its own; local
+// drivers that want an inner fan-out set Workers explicitly.
+type DSESweepParams struct {
+	Bench   BenchRef    `json:"bench"`
+	Sizes   []uint64    `json:"sizes"` // paper-scale LLC bytes
+	Cfg     warm.Config `json:"cfg"`
+	Workers int         `json:"-"`
+}
+
+func (DSESweepParams) Kind() string { return KindDSESweep }
+
+func (p DSESweepParams) Identity() (bench, method, extra string) {
+	return p.Bench.Name, "dse", fmt.Sprint(p.Sizes)
+}
+
+func (p DSESweepParams) benchRefs() []BenchRef { return []BenchRef{p.Bench} }
+
+func runDSESweep(p Params, _ runner.Sub) (any, error) {
+	sp := p.(DSESweepParams)
+	prof, err := sp.Bench.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	bench, method, extra := sp.Identity()
+	cfg := SeedConfig(sp.Cfg, bench, method, extra)
+	workers := sp.Workers
+	if workers <= 0 {
+		workers = 1 // see DSESweepParams.Workers: decoded specs never fan out
+	}
+	return dse.RunParallel(prof, cfg, sp.Sizes, workers), nil
+}
+
+// ------------------------------------------------------------ corun kinds
+
+// CoRunProfileParams collects one app's size-independent solo profile.
+// Build it with CoRunProfileParamsFor so the LLC axis is normalized and
+// every size's calibration shares one profile spec.
+type CoRunProfileParams struct {
+	Bench BenchRef    `json:"bench"`
+	Cfg   warm.Config `json:"cfg"`
+}
+
+func (CoRunProfileParams) Kind() string { return KindCoRunProfile }
+
+func (p CoRunProfileParams) Identity() (bench, method, extra string) {
+	return p.Bench.Name, "corun-profile", ""
+}
+
+func (p CoRunProfileParams) benchRefs() []BenchRef { return []BenchRef{p.Bench} }
+
+// CoRunProfileParamsFor returns the canonical profile spec for one app:
+// the solo profile does not depend on the target LLC size (its reference
+// simulations pick their own footprint-relative sizes), so the LLC axis
+// is pinned to the paper default — one profile per (app, machine config),
+// shared by every matrix cell.
+func CoRunProfileParamsFor(app BenchRef, base warm.Config) CoRunProfileParams {
+	base.LLCPaperBytes = warm.DefaultConfig().LLCPaperBytes
+	return CoRunProfileParams{Bench: app, Cfg: base}
+}
+
+func runCoRunProfile(p Params, _ runner.Sub) (any, error) {
+	sp := p.(CoRunProfileParams)
+	prof, err := sp.Bench.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	cs := multiprog.CoSimFromWarm(sp.Cfg, sp.Cfg.LLCPaperBytes)
+	return multiprog.ProfileSolo(prof, cs), nil
+}
+
+// CoRunCalParams completes one app's calibration at the target LLC size
+// (Cfg.LLCPaperBytes). The app's corun-profile runs as a nested spec, so
+// however many sizes are swept, the profile executes once per app.
+type CoRunCalParams struct {
+	Bench BenchRef    `json:"bench"`
+	Cfg   warm.Config `json:"cfg"`
+}
+
+func (CoRunCalParams) Kind() string { return KindCoRunCalibrate }
+
+func (p CoRunCalParams) Identity() (bench, method, extra string) {
+	return p.Bench.Name, "corun-cal", strconv.FormatUint(p.Cfg.LLCPaperBytes, 10)
+}
+
+func (p CoRunCalParams) benchRefs() []BenchRef { return []BenchRef{p.Bench} }
+
+func runCoRunCalibrate(p Params, sub runner.Sub) (any, error) {
+	sp := p.(CoRunCalParams)
+	prof, err := New(CoRunProfileParamsFor(sp.Bench, sp.Cfg))
+	if err != nil {
+		return nil, err
+	}
+	v, err := sub.RunSpec(prof)
+	if err != nil {
+		return nil, err
+	}
+	cs := multiprog.CoSimFromWarm(sp.Cfg, sp.Cfg.LLCPaperBytes)
+	return v.(multiprog.SoloProfile).Calibrate(cs), nil
+}
+
+// CoRunSimParams simulates one shared-LLC co-run matrix cell: the named
+// mix of apps on private-L1 cores sharing an LLC of Cfg.LLCPaperBytes.
+type CoRunSimParams struct {
+	Mix  string      `json:"mix"` // display name of the scenario
+	Apps []BenchRef  `json:"apps"`
+	Cfg  warm.Config `json:"cfg"`
+}
+
+func (CoRunSimParams) Kind() string { return KindCoRunSim }
+
+func (p CoRunSimParams) Identity() (bench, method, extra string) {
+	return p.Mix, "corun-sim", strconv.FormatUint(p.Cfg.LLCPaperBytes, 10)
+}
+
+func (p CoRunSimParams) benchRefs() []BenchRef { return append([]BenchRef(nil), p.Apps...) }
+
+func runCoRunSim(p Params, _ runner.Sub) (any, error) {
+	sp := p.(CoRunSimParams)
+	profs, err := resolveAll(sp.Apps)
+	if err != nil {
+		return nil, err
+	}
+	cs := multiprog.CoSimFromWarm(sp.Cfg, sp.Cfg.LLCPaperBytes)
+	return multiprog.SimulateCoRun(profs, cs), nil
+}
+
+func resolveAll(refs []BenchRef) ([]*workload.Profile, error) {
+	out := make([]*workload.Profile, len(refs))
+	for i, r := range refs {
+		p, err := r.Resolve()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// ------------------------------------------------------------ registration
+
+func init() {
+	register(KindInfo{
+		Name:  KindSampling,
+		About: "one benchmark under one methodology (smarts|coolsim|delorean) at one config",
+		New:   func() any { return new(SamplingParams) },
+		Validate: func(p Params) error {
+			sp := p.(SamplingParams)
+			switch sp.Method {
+			case MethodSMARTS, MethodCoolSim, MethodDeLorean:
+			default:
+				return fmt.Errorf("unknown method %q", sp.Method)
+			}
+			return sp.Bench.validate()
+		},
+		Run: runSampling,
+		Codec: artifact.Codec{
+			Version: 1,
+			Encode: func(v any) ([]byte, error) {
+				switch r := v.(type) {
+				case *core.Result:
+					return json.Marshal(samplingArtifact{Method: MethodDeLorean, DeLorean: r})
+				case *warm.Result:
+					return json.Marshal(samplingArtifact{Method: r.Method, Warm: r})
+				}
+				return nil, fmt.Errorf("unexpected sampling result %T", v)
+			},
+			Decode: func(b []byte) (any, error) {
+				var a samplingArtifact
+				if err := json.Unmarshal(b, &a); err != nil {
+					return nil, err
+				}
+				switch {
+				case a.DeLorean != nil:
+					return a.DeLorean, nil
+				case a.Warm != nil:
+					return a.Warm, nil
+				}
+				return nil, fmt.Errorf("empty sampling artifact")
+			},
+		},
+	})
+	register(KindInfo{
+		Name:  KindDSESweep,
+		About: "one benchmark across many LLC sizes from a single shared warm-up (working-set curve / DSE)",
+		New:   func() any { return new(DSESweepParams) },
+		Validate: func(p Params) error {
+			sp := p.(DSESweepParams)
+			if len(sp.Sizes) == 0 {
+				return fmt.Errorf("empty LLC size list")
+			}
+			return sp.Bench.validate()
+		},
+		Run:   runDSESweep,
+		Codec: jsonCodec[*dse.Result](1),
+	})
+	register(KindInfo{
+		Name:  KindCoRunProfile,
+		About: "size-independent solo profile of one app (reuse histogram, base CPI, penalty fit)",
+		New:   func() any { return new(CoRunProfileParams) },
+		Validate: func(p Params) error {
+			return p.(CoRunProfileParams).Bench.validate()
+		},
+		Run:   runCoRunProfile,
+		Codec: jsonCodec[multiprog.SoloProfile](1),
+	})
+	register(KindInfo{
+		Name:  KindCoRunCalibrate,
+		About: "per-(app, LLC size) calibration; nests the app's corun-profile",
+		New:   func() any { return new(CoRunCalParams) },
+		Validate: func(p Params) error {
+			return p.(CoRunCalParams).Bench.validate()
+		},
+		Run:   runCoRunCalibrate,
+		Codec: jsonCodec[multiprog.SoloCalibration](1),
+	})
+	register(KindInfo{
+		Name:  KindCoRunSim,
+		About: "one simulated shared-LLC co-run matrix cell",
+		New:   func() any { return new(CoRunSimParams) },
+		Validate: func(p Params) error {
+			sp := p.(CoRunSimParams)
+			if len(sp.Apps) == 0 {
+				return fmt.Errorf("empty app mix")
+			}
+			for _, a := range sp.Apps {
+				if err := a.validate(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Run:   runCoRunSim,
+		Codec: jsonCodec[*multiprog.CoRunResult](1),
+	})
+}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -69,6 +70,25 @@ func (c *Counters) Names() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// MarshalJSON encodes the ledger as a plain name→value object (keys are
+// emitted sorted, so the encoding is canonical and diff-friendly — the
+// artifact store hashes these bytes).
+func (c *Counters) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.m)
+}
+
+// UnmarshalJSON restores a ledger encoded by MarshalJSON.
+func (c *Counters) UnmarshalJSON(b []byte) error {
+	c.m = nil
+	if err := json.Unmarshal(b, &c.m); err != nil {
+		return err
+	}
+	if c.m == nil {
+		c.m = make(map[string]float64)
+	}
+	return nil
 }
 
 // String renders the ledger one counter per line.

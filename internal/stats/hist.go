@@ -10,6 +10,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/bits"
@@ -215,6 +216,46 @@ func (h *RDHist) Buckets(f func(lo, hi uint64, w float64)) {
 		lo, hi := bucketBounds(i)
 		f(lo, hi, w)
 	}
+}
+
+// rdHistJSON is the persisted form of an RDHist: the bucket array is
+// sparse (most of the 192 log buckets are empty for any real profile), so
+// buckets are stored as [index, weight] pairs. Total/cold/n are stored
+// explicitly so a decoded histogram is bit-identical to the original, not
+// merely re-derivable.
+type rdHistJSON struct {
+	Buckets [][2]float64 `json:"buckets,omitempty"`
+	Total   float64      `json:"total"`
+	Cold    float64      `json:"cold"`
+	N       uint64       `json:"n"`
+}
+
+// MarshalJSON encodes the histogram sparsely (see rdHistJSON).
+func (h *RDHist) MarshalJSON() ([]byte, error) {
+	j := rdHistJSON{Total: h.total, Cold: h.cold, N: h.n}
+	for i, w := range h.buckets {
+		if w != 0 {
+			j.Buckets = append(j.Buckets, [2]float64{float64(i), w})
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON restores a histogram encoded by MarshalJSON.
+func (h *RDHist) UnmarshalJSON(b []byte) error {
+	var j rdHistJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*h = RDHist{total: j.Total, cold: j.Cold, n: j.N}
+	for _, p := range j.Buckets {
+		i := int(p[0])
+		if i < 0 || i >= len(h.buckets) {
+			return fmt.Errorf("stats: RDHist bucket index %d out of range", i)
+		}
+		h.buckets[i] = p[1]
+	}
+	return nil
 }
 
 // String summarizes the histogram for debugging.
