@@ -8,6 +8,7 @@
 //	go run ./cmd/bench -quick -out bench.json  # CI smoke run
 //	go run ./cmd/bench -quick -compare BENCH_after.json -maxregress 0.20
 //	go run ./cmd/bench -cpuprofile cpu.pprof -scenarios solo-pipeline
+//	go run ./cmd/bench -cpuprofile-per-scenario prof/   # one pprof per scenario
 //
 // The repo root's BENCH_baseline.json (pre-batching) and BENCH_after.json
 // (post-batching) record the perf trajectory; see README "Benchmarks".
@@ -32,6 +33,8 @@ func main() {
 	maxRegress := flag.Float64("maxregress", 0.20, "allowed ns/access regression vs -compare references")
 	secs := flag.Float64("time", 0, "target seconds per scenario (default 2, quick 0.5)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	cpuprofileEach := flag.String("cpuprofile-per-scenario", "",
+		"write one CPU profile per scenario to <dir>/<scenario>.pprof (mutually exclusive with -cpuprofile)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path")
 	list := flag.Bool("list", false, "list scenarios and exit")
 	flag.Parse()
@@ -61,6 +64,10 @@ func main() {
 		target = time.Duration(*secs * float64(time.Second))
 	}
 
+	if *cpuprofile != "" && *cpuprofileEach != "" {
+		fmt.Fprintln(os.Stderr, "bench: -cpuprofile and -cpuprofile-per-scenario are mutually exclusive")
+		os.Exit(2)
+	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -72,7 +79,16 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	rep := perf.RunAll(scens, *quick, target)
+	var rep *perf.Report
+	if *cpuprofileEach != "" {
+		var err error
+		rep, err = perf.RunAllProfiled(scens, *quick, target, *cpuprofileEach)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		rep = perf.RunAll(scens, *quick, target)
+	}
 
 	fmt.Printf("%-14s %12s %14s %14s %10s\n",
 		"scenario", "ns/access", "accesses/sec", "allocs/access", "accesses")

@@ -1,0 +1,69 @@
+package artifact
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+)
+
+// TestEnvelopeEncodingMatchesJSONMarshal pins the hand-assembled envelope
+// writer to encoding/json's output for the envelope struct: any byte of
+// drift would fork the on-disk format between store versions.
+func TestEnvelopeEncodingMatchesJSONMarshal(t *testing.T) {
+	// Payloads are whatever codec.Encode produces — json.Marshal output,
+	// which is compact and HTML-escaped. The third one pins that: <, > and
+	// & arrive pre-escaped, so appending the payload verbatim matches what
+	// re-marshalling the RawMessage would emit.
+	mustMarshal := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	payloads := [][]byte{
+		mustMarshal(map[string]any{"a": 1, "b": []int{1, 2, 3}}),
+		mustMarshal(nil),
+		mustMarshal("x<y&z>A"),
+	}
+	kinds := []string{"sampling", "dse-sweep", "kind with spaces", `weird"kind\<&>`, "ünïcode"}
+	key := "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+	for _, kind := range kinds {
+		for _, payload := range payloads {
+			sum := sha256.Sum256(payload)
+			env := envelope{Schema: Schema, Kind: kind, Key: key,
+				CodecVersion: 7, SHA256: hex.EncodeToString(sum[:]), Payload: payload}
+			want, err := json.Marshal(&env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			writeEnvelope(&buf, kind, key, 7, payload)
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("kind %q: envelope drifts from json.Marshal:\n got %s\nwant %s", kind, buf.Bytes(), want)
+			}
+		}
+	}
+}
+
+// TestPayloadHashMatches covers the no-alloc hash verifier.
+func TestPayloadHashMatches(t *testing.T) {
+	p := []byte(`{"x":1}`)
+	sum := sha256.Sum256(p)
+	good := hex.EncodeToString(sum[:])
+	if !payloadHashMatches(p, good) {
+		t.Error("correct hash rejected")
+	}
+	if payloadHashMatches(p, good[:40]) {
+		t.Error("truncated hash accepted")
+	}
+	bad := "0" + good[1:]
+	if good[0] != '0' && payloadHashMatches(p, bad) {
+		t.Error("wrong hash accepted")
+	}
+	if payloadHashMatches([]byte(`{"x":2}`), good) {
+		t.Error("wrong payload accepted")
+	}
+}

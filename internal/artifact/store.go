@@ -26,14 +26,17 @@
 package artifact
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -172,8 +175,19 @@ func validKey(key string) bool {
 	return true
 }
 
+// encodePool holds envelope-assembly buffers (Save) and readPool holds
+// file-read buffers (Load): both paths run once per artifact on the warm
+// runner/labd path, and without reuse each operation allocates (and
+// garbage-collects) a payload-sized buffer.
+var encodePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+var readPool = sync.Pool{New: func() any { return new([]byte) }}
+
 func (s *Store) path(key string) string {
-	return filepath.Join(s.dir, key[:2], key+".json")
+	// Single-allocation concatenation; filepath.Join's cleaning pass costs
+	// several allocations per call and nothing here needs cleaning (dir is
+	// fixed, keys are validated hex).
+	return s.dir + string(filepath.Separator) + key[:2] + string(filepath.Separator) + key + ".json"
 }
 
 // Load returns the decoded artifact for (kind, key), or a miss. It never
@@ -188,7 +202,7 @@ func (s *Store) Load(kind, key string) (any, bool) {
 		return nil, false
 	}
 	path := s.path(key)
-	raw, err := os.ReadFile(path)
+	raw, release, err := readPooled(path)
 	if err != nil {
 		// The file is gone (evicted by a racing Save, or deleted
 		// externally): reconcile the index so its bytes stop counting
@@ -201,6 +215,11 @@ func (s *Store) Load(kind, key string) (any, bool) {
 		return nil, false
 	}
 	val, err := decodeEnvelope(raw, kind, key, codec)
+	size := int64(len(raw))
+	// The decoded value is independent of raw: the envelope's RawMessage
+	// payload is a copy, and every field of the decoded artifact is built
+	// by the codec's json.Unmarshal. Safe to recycle the read buffer.
+	release()
 
 	s.mu.Lock()
 	s.loads++
@@ -211,10 +230,38 @@ func (s *Store) Load(kind, key string) (any, bool) {
 		s.mu.Unlock()
 		return nil, false
 	}
-	s.touchLocked(key, int64(len(raw)), kind)
+	s.touchLocked(key, size, kind)
 	s.mu.Unlock()
 	refreshMtime(path)
 	return val, true
+}
+
+// readPooled reads the whole file into a pooled buffer. release returns
+// the buffer to the pool; the caller must not retain raw (or anything
+// aliasing it) past that call.
+func readPooled(path string) (raw []byte, release func(), err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	bp := readPool.Get().(*[]byte)
+	b := *bp
+	if need := int(info.Size()); cap(b) < need {
+		b = make([]byte, need)
+	} else {
+		b = b[:need]
+	}
+	if _, err := io.ReadFull(f, b); err != nil {
+		*bp = b
+		readPool.Put(bp)
+		return nil, nil, err
+	}
+	return b, func() { *bp = b; readPool.Put(bp) }, nil
 }
 
 // miss records a load that never reached a file.
@@ -243,7 +290,7 @@ func (s *Store) Raw(key string) (payload []byte, kind string, ok bool) {
 	}
 	var env envelope
 	badEnv := json.Unmarshal(raw, &env) != nil ||
-		env.Schema != Schema || env.Key != key || hashHex(env.Payload) != env.SHA256
+		env.Schema != Schema || env.Key != key || !payloadHashMatches(env.Payload, env.SHA256)
 
 	s.mu.Lock()
 	if badEnv {
@@ -272,7 +319,7 @@ func decodeEnvelope(raw []byte, kind, key string, codec Codec) (any, error) {
 		return nil, fmt.Errorf("key mismatch")
 	case env.CodecVersion != codec.Version:
 		return nil, fmt.Errorf("codec version %d, want %d", env.CodecVersion, codec.Version)
-	case hashHex(env.Payload) != env.SHA256:
+	case !payloadHashMatches(env.Payload, env.SHA256):
 		return nil, fmt.Errorf("payload hash mismatch")
 	}
 	return codec.Decode(env.Payload)
@@ -290,12 +337,17 @@ func (s *Store) Save(kind, key string, val any) {
 	if err != nil {
 		return
 	}
-	env := envelope{Schema: Schema, Kind: kind, Key: key,
-		CodecVersion: codec.Version, SHA256: hashHex(payload), Payload: payload}
-	raw, err := json.Marshal(&env)
-	if err != nil {
-		return
-	}
+	// Assemble the envelope by hand into a pooled buffer. json.Marshal of
+	// the envelope struct would re-scan and compact the payload RawMessage
+	// (a validation pass plus a second payload-sized copy per save);
+	// writing the five fixed fields directly produces the identical bytes
+	// — pinned by TestEnvelopeEncodingMatchesJSONMarshal — for one buffer
+	// reuse and no re-scan.
+	buf := encodePool.Get().(*bytes.Buffer)
+	defer func() { buf.Reset(); encodePool.Put(buf) }()
+	buf.Reset()
+	writeEnvelope(buf, kind, key, codec.Version, payload)
+	size := int64(buf.Len())
 
 	// All file I/O happens outside the lock: concurrent workers persist
 	// different keys in parallel (the runner's single-flight path
@@ -309,7 +361,7 @@ func (s *Store) Save(kind, key string, val any) {
 	if err != nil {
 		return
 	}
-	_, werr := tmp.Write(raw)
+	_, werr := tmp.Write(buf.Bytes())
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil || os.Rename(tmp.Name(), path) != nil {
 		os.Remove(tmp.Name())
@@ -318,9 +370,50 @@ func (s *Store) Save(kind, key string, val any) {
 
 	s.mu.Lock()
 	s.saves++
-	s.touchLocked(key, int64(len(raw)), kind)
+	s.touchLocked(key, size, kind)
 	s.evictLocked(key)
 	s.mu.Unlock()
+}
+
+// writeEnvelope writes the JSON form of envelope{...} into buf, matching
+// encoding/json's output for the envelope struct byte for byte (field
+// order, escaping) so artifacts written by either encoder are
+// indistinguishable. The payload is appended verbatim, which relies on
+// codecs emitting json.Marshal output: already compact and already
+// HTML-escaped, i.e. exactly the bytes re-marshalling it as a RawMessage
+// would embed.
+func writeEnvelope(buf *bytes.Buffer, kind, key string, version int, payload []byte) {
+	var scratch [2 * sha256.Size]byte
+	buf.WriteString(`{"schema":"` + Schema + `","kind":`)
+	writeJSONString(buf, kind)
+	buf.WriteString(`,"key":"`)
+	buf.WriteString(key) // validated hex: no escapable bytes
+	buf.WriteString(`","codec_version":`)
+	buf.Write(strconv.AppendInt(scratch[:0], int64(version), 10))
+	buf.WriteString(`,"sha256":"`)
+	sum := sha256.Sum256(payload)
+	hex.Encode(scratch[:], sum[:])
+	buf.Write(scratch[:])
+	buf.WriteString(`","payload":`)
+	buf.Write(payload)
+	buf.WriteByte('}')
+}
+
+// writeJSONString quotes s the way encoding/json does for the plain
+// identifiers codec kinds are; bytes that would need escaping (quotes,
+// backslashes, control characters, non-ASCII) fall back to json.Marshal
+// so exotic kinds stay correct.
+func writeJSONString(buf *bytes.Buffer, s string) {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			b, _ := json.Marshal(s)
+			buf.Write(b)
+			return
+		}
+	}
+	buf.WriteByte('"')
+	buf.WriteString(s)
+	buf.WriteByte('"')
 }
 
 // touchLocked records (or refreshes) key in the index and bumps its
@@ -378,7 +471,15 @@ func (s *Store) dropLocked(key, path string) {
 	_ = os.Remove(path)
 }
 
-func hashHex(b []byte) string {
-	h := sha256.Sum256(b)
-	return hex.EncodeToString(h[:])
+// payloadHashMatches reports whether wantHex is the hex SHA-256 of
+// payload, without allocating (the string(...) == comparison is the
+// compiler-recognized no-copy form).
+func payloadHashMatches(payload []byte, wantHex string) bool {
+	if len(wantHex) != 2*sha256.Size {
+		return false
+	}
+	sum := sha256.Sum256(payload)
+	var buf [2 * sha256.Size]byte
+	hex.Encode(buf[:], sum[:])
+	return string(buf[:]) == wantHex
 }

@@ -215,6 +215,35 @@ func (c *Cache) Lookup(l mem.Line) (out Outcome, victim mem.Line, evicted bool) 
 	return Miss, victim, evicted
 }
 
+// WayIndexOf returns the index into the cache's way array currently
+// holding line l, or -1 when the line is not resident. Like Probe it
+// changes no state (no tick, no recency, no counters); it exists so a
+// caller that can prove the next Lookup of l must hit — the timing core's
+// fetch-line memo — can pair it with Touch and skip the set search.
+func (c *Cache) WayIndexOf(l mem.Line) int {
+	base := c.setOf(l) * uint64(c.assoc)
+	set := c.ways[base : base+uint64(c.assoc)]
+	for w := range set {
+		if set[w].tag == uint64(l) && set[w].age != 0 {
+			return int(base) + w
+		}
+	}
+	return -1
+}
+
+// Touch replays the state effects of a hitting Lookup on the way at index
+// w (as returned by WayIndexOf): the tick advances, the way becomes most
+// recently used and the hit is counted — bit-identical to Lookup finding
+// the line, without the set search. The caller must guarantee the way
+// still holds the line it resolved; the timing core's fetch-line memo can,
+// because nothing but its own fetches touches the private L1I between two
+// consecutive instructions.
+func (c *Cache) Touch(w int) {
+	c.tick++
+	c.ways[w].age = c.tick
+	c.NHits++
+}
+
 // Probe reports whether the line is present without touching replacement
 // state or statistics.
 func (c *Cache) Probe(l mem.Line) bool {

@@ -184,12 +184,16 @@ func (h *Hierarchy) AccessData(a *mem.Access) DataResult {
 	if out == Hit {
 		return DataResult{Latency: h.Cfg.L1D.HitLat, Served: LevelL1, L1: Hit}
 	}
-	return h.accessMiss(a, line)
+	return h.AccessDataMiss(a, line)
 }
 
-// accessMiss is the L1-miss tail of AccessData, split out so the L1-hit
-// fast path stays under the inliner's budget.
-func (h *Hierarchy) accessMiss(a *mem.Access, line mem.Line) DataResult {
+// AccessDataMiss is the L1-miss tail of AccessData, split out so the
+// L1-hit fast path stays under the inliner's budget. It is exported for
+// the timing core's inlined data-access fast path, which replays
+// AccessData's hit half itself (DataAccesses count plus L1D lookup, in
+// that order) and only builds the access record when this tail needs it;
+// other callers should use AccessData.
+func (h *Hierarchy) AccessDataMiss(a *mem.Access, line mem.Line) DataResult {
 	// L1 miss. Does the oracle rule it a warm L1 hit?
 	if h.Oracle != nil && h.Oracle.OverrideMiss(a, LevelL1) {
 		h.WarmingHits++

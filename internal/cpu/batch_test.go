@@ -1,0 +1,138 @@
+package cpu
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// clearScratch zeroes the core's access-record scratch before a state
+// comparison: it is plumbing, not model state — the batched engine only
+// materializes records the miss tail consumes, so after an L1-hit it
+// legitimately holds an older record than the oracle's.
+func clearScratch(c *Core) { c.acc = mem.Access{} }
+
+// TestRunBatchMatchesRun is the batched timing core's oracle gate: for
+// every workload profile in the suite, a core driven by RunBatch must
+// produce bit-identical per-quantum Stats AND bit-identical final state —
+// the whole Core (dispatch clock, ROB ring, MSHR ring, in-flight table,
+// scratch), the whole hierarchy (tags, ages, tick counters, statistics)
+// and the branch predictor — compared to a twin core driven by the
+// per-instruction Run. Quanta of varying sizes land the batch boundaries
+// mid-burst, mid-miss and across phase edges.
+func TestRunBatchMatchesRun(t *testing.T) {
+	quanta := []uint64{200, 1, 7, 200, 3000, 64, 513, 200}
+	for _, prof := range workload.Benchmarks() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			const scale = 256
+			mk := func() (*Core, *workload.Program) {
+				hier := cache.NewHierarchy(cache.DefaultHierarchy(4<<20, scale), nil)
+				return NewCore(DefaultConfig(), hier, nil), prof.NewProgram(scale)
+			}
+			refCore, refProg := mk()
+			batCore, batProg := mk()
+			var batch workload.InstrBatch
+			for qi, q := range quanta {
+				want := refCore.Run(refProg, q)
+				got := batCore.RunBatch(batProg, q, &batch)
+				if got != want {
+					t.Fatalf("quantum %d (n=%d): stats diverge:\nbatched %+v\noracle  %+v", qi, q, got, want)
+				}
+			}
+			clearScratch(refCore)
+			clearScratch(batCore)
+			if !reflect.DeepEqual(batCore, refCore) {
+				t.Errorf("final core state diverges (including hierarchy and predictor):\nbatched %+v\noracle  %+v", batCore, refCore)
+			}
+			if !reflect.DeepEqual(batProg, refProg) {
+				t.Errorf("final program state diverges")
+			}
+		})
+	}
+}
+
+// TestRunBatchMatchesRunInterleaved: mixing the two engines on ONE core
+// mid-stream must also be exact — the memo is per-batch, so nothing about
+// a preceding Run (or functional warming) can poison a following RunBatch.
+func TestRunBatchMatchesRunInterleaved(t *testing.T) {
+	prof := workload.Mcf()
+	const scale = 256
+	mk := func() (*Core, *workload.Program) {
+		hier := cache.NewHierarchy(cache.DefaultHierarchy(4<<20, scale), nil)
+		return NewCore(DefaultConfig(), hier, nil), prof.NewProgram(scale)
+	}
+	refCore, refProg := mk()
+	mixCore, mixProg := mk()
+	var batch workload.InstrBatch
+	for i := 0; i < 40; i++ {
+		want := refCore.Run(refProg, 200)
+		var got Stats
+		if i%2 == 0 {
+			got = mixCore.RunBatch(mixProg, 200, &batch)
+		} else {
+			got = mixCore.Run(mixProg, 200)
+		}
+		if got != want {
+			t.Fatalf("quantum %d: stats diverge:\nmixed  %+v\noracle %+v", i, got, want)
+		}
+	}
+	clearScratch(refCore)
+	clearScratch(mixCore)
+	if !reflect.DeepEqual(mixCore, refCore) {
+		t.Errorf("final core state diverges after interleaving Run and RunBatch")
+	}
+}
+
+// TestCoreUsesConfiguredMSHRs: the MSHR table (ring capacity, occupancy
+// bound, in-flight sizing) must come from the hierarchy configuration, not
+// a hardcoded 8 — the regression this pins was Config.L1DMSHRs() ignoring
+// the config entirely.
+func TestCoreUsesConfiguredMSHRs(t *testing.T) {
+	cfg := cache.DefaultHierarchy(1<<20, 64)
+	cfg.L1D.MSHRs = 3
+	core := NewCore(DefaultConfig(), cache.NewHierarchy(cfg, nil), nil)
+	if core.mshrs != 3 || len(core.mshrFree.buf) != 3 {
+		t.Errorf("mshrs = %d, ring capacity = %d, want 3 from hierarchy config", core.mshrs, len(core.mshrFree.buf))
+	}
+	core = NewCore(DefaultConfig(), nil, nil)
+	if core.mshrs != 8 {
+		t.Errorf("nil-hierarchy fallback mshrs = %d, want 8", core.mshrs)
+	}
+}
+
+// TestMSHRRingOrdering pins the sorted ring against a reference multiset
+// under a randomized push/pop/drain workload shaped like the core's
+// (near-ascending completion times, occasional popMin bursts).
+func TestMSHRRingOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, capacity := range []int{1, 2, 8, 20} {
+		var r mshrRing
+		r.init(capacity)
+		var ref []uint64
+		base := uint64(100)
+		for step := 0; step < 20_000; step++ {
+			if r.n < capacity && (r.n == 0 || rng.Intn(3) > 0) {
+				x := base + uint64(rng.Intn(300))
+				base += uint64(rng.Intn(5))
+				r.push(x)
+				ref = append(ref, x)
+				sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+			} else {
+				if got, want := r.min(), ref[0]; got != want {
+					t.Fatalf("cap %d step %d: min = %d, want %d", capacity, step, got, want)
+				}
+				r.popMin()
+				ref = ref[1:]
+			}
+			if r.n != len(ref) {
+				t.Fatalf("cap %d step %d: len = %d, want %d", capacity, step, r.n, len(ref))
+			}
+		}
+	}
+}

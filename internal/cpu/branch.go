@@ -28,19 +28,36 @@ type BranchPred struct {
 	choice []uint8
 	btb    []uint64
 	ghr    uint64
+	// Index masks for the power-of-two table sizes (every Table 1 size is
+	// one): the predictor runs once per branch on the timing hot path, and
+	// four hardware divides per call is what `% len(table)` costs. A zero
+	// mask falls back to the modulo.
+	localMask, globalMask, choiceMask, btbMask uint64
 
 	Lookups     uint64
 	Mispredicts uint64
 }
 
+// pow2Mask returns n-1 when n is a power of two, else 0.
+func pow2Mask(n int) uint64 {
+	if n > 0 && n&(n-1) == 0 {
+		return uint64(n - 1)
+	}
+	return 0
+}
+
 // NewBranchPred builds a predictor with all counters weakly not-taken.
 func NewBranchPred(cfg BPConfig) *BranchPred {
 	p := &BranchPred{
-		cfg:    cfg,
-		local:  make([]uint8, cfg.LocalEntries),
-		global: make([]uint8, cfg.GlobalEntries),
-		choice: make([]uint8, cfg.ChoiceEntries),
-		btb:    make([]uint64, cfg.BTBEntries),
+		cfg:        cfg,
+		local:      make([]uint8, cfg.LocalEntries),
+		global:     make([]uint8, cfg.GlobalEntries),
+		choice:     make([]uint8, cfg.ChoiceEntries),
+		btb:        make([]uint64, cfg.BTBEntries),
+		localMask:  pow2Mask(cfg.LocalEntries),
+		globalMask: pow2Mask(cfg.GlobalEntries),
+		choiceMask: pow2Mask(cfg.ChoiceEntries),
+		btbMask:    pow2Mask(cfg.BTBEntries),
 	}
 	// Counters start weakly taken: branches are overwhelmingly loop
 	// branches, so a taken-biased cold predictor converges much faster
@@ -59,55 +76,79 @@ func NewBranchPred(cfg BPConfig) *BranchPred {
 
 func taken(ctr uint8) bool { return ctr >= 2 }
 
-func bump(ctr uint8, t bool) uint8 {
-	if t {
-		if ctr < 3 {
-			return ctr + 1
-		}
-		return 3
-	}
-	if ctr > 0 {
-		return ctr - 1
+// b2u8 converts a bool to 0/1 without a branch (Go bools are 0/1 bytes).
+func b2u8(b bool) uint8 {
+	if b {
+		return 1
 	}
 	return 0
 }
 
+// bump saturates the 2-bit counter toward t. Branch-free: the counter
+// updates run three times per predicted branch with data-random direction,
+// so an if/else ladder here is a mispredict factory on the timing hot
+// path. Identical to the saturating if-chain for ctr in [0, 3].
+func bump(ctr uint8, t bool) uint8 {
+	up := b2u8(t) & b2u8(ctr < 3)
+	down := b2u8(!t) & b2u8(ctr > 0)
+	return ctr + up - down
+}
+
+// index maps a non-negative key to a table slot: a mask when the table is
+// a power of two (identical to the modulo for non-negative keys), else the
+// modulo itself.
+func index(key uint64, mask uint64, size int) int {
+	if mask != 0 {
+		return int(key & mask)
+	}
+	return int(key) % size
+}
+
 // PredictAndUpdate predicts branch pc, updates all tables with the actual
-// outcome, and reports whether the prediction was correct.
+// outcome, and reports whether the prediction was correct. The body is
+// branch-free on its data-dependent decisions (component selection, choice
+// training, BTB fill, outcome counting): every one of them flips with the
+// simulated branch stream, which is exactly the kind of host-unpredictable
+// control flow that dominated this function's profile. The 2-bit counters
+// stay in [0, 3], so "taken" is just the counters' high bit.
 func (p *BranchPred) PredictAndUpdate(pc uint64, actual bool) bool {
-	li := int(pc>>2) % len(p.local)
-	gi := int((pc>>2)^p.ghr) % len(p.global)
-	ci := int(p.ghr) % len(p.choice)
+	li := index(pc>>2, p.localMask, len(p.local))
+	gi := index((pc>>2)^p.ghr, p.globalMask, len(p.global))
+	ci := index(p.ghr, p.choiceMask, len(p.choice))
 
-	localPred := taken(p.local[li])
-	globalPred := taken(p.global[gi])
-	useGlobal := taken(p.choice[ci])
-	pred := localPred
-	if useGlobal {
-		pred = globalPred
-	}
+	localPred := p.local[li] >> 1   // taken bit
+	globalPred := p.global[gi] >> 1 // taken bit
+	useGlobal := p.choice[ci] >> 1  // taken bit
+	pred := localPred ^ ((localPred ^ globalPred) & useGlobal)
+	act := b2u8(actual)
 
-	// Choice table trains toward whichever component was right.
-	if localPred != globalPred {
-		p.choice[ci] = bump(p.choice[ci], globalPred == actual)
-	}
+	// Choice table trains toward whichever component was right — only when
+	// they disagree, so the trained value is stored iff localPred !=
+	// globalPred (an unconditional store of a blended value keeps the state
+	// bit-identical to the conditional update).
+	oldChoice := p.choice[ci]
+	newChoice := bump(oldChoice, globalPred == act)
+	disagree := -(localPred ^ globalPred) // 0x00 or 0xff
+	p.choice[ci] = oldChoice ^ ((oldChoice ^ newChoice) & disagree)
 	p.local[li] = bump(p.local[li], actual)
 	p.global[gi] = bump(p.global[gi], actual)
-	p.ghr = ((p.ghr << 1) | b2u(actual)) & 0x1fff // 13 bits of history
+	p.ghr = ((p.ghr << 1) | uint64(act)) & 0x1fff // 13 bits of history
 
-	// BTB: a taken branch with a missing BTB entry is also a misfetch.
-	bi := int(pc>>2) % len(p.btb)
-	btbHit := p.btb[bi] == pc
+	// BTB: a taken branch with a missing BTB entry is also a misfetch. The
+	// entry is written back unconditionally (its old value when the branch
+	// was not taken), which the compiler turns into a conditional move.
+	bi := index(pc>>2, p.btbMask, len(p.btb))
+	btbHit := b2u8(p.btb[bi] == pc)
+	entry := p.btb[bi]
 	if actual {
-		p.btb[bi] = pc
+		entry = pc
 	}
+	p.btb[bi] = entry
 
 	p.Lookups++
-	correct := pred == actual && (!actual || btbHit)
-	if !correct {
-		p.Mispredicts++
-	}
-	return correct
+	correct := (pred ^ act ^ 1) & ((1 - act) | btbHit)
+	p.Mispredicts += uint64(correct ^ 1)
+	return correct == 1
 }
 
 // MispredictRate returns mispredicts / lookups.
@@ -121,10 +162,3 @@ func (p *BranchPred) MispredictRate() float64 {
 // ResetStats clears the statistics but keeps the learned state (used
 // between detailed warming and the measured region).
 func (p *BranchPred) ResetStats() { p.Lookups, p.Mispredicts = 0, 0 }
-
-func b2u(b bool) uint64 {
-	if b {
-		return 1
-	}
-	return 0
-}

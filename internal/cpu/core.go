@@ -77,50 +77,65 @@ func (s *Stats) Add(o Stats) {
 	s.BrMispred += o.BrMispred
 }
 
-// mshrHeap orders outstanding miss completion times. It is a hand-rolled
-// binary min-heap rather than container/heap because heap.Push boxes every
-// uint64 into an interface — one heap allocation per cache miss on the
-// timing model's hot path.
-type mshrHeap []uint64
-
-func (h *mshrHeap) push(x uint64) {
-	s := append(*h, x)
-	*h = s
-	i := len(s) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if s[p] <= s[i] {
-			break
-		}
-		s[p], s[i] = s[i], s[p]
-		i = p
-	}
+// mshrRing is a fixed-capacity sorted ring of outstanding-miss completion
+// times — the multiset behind the MSHR occupancy check. It replaces the
+// earlier binary min-heap: occupancy can never exceed the L1D MSHR count
+// (Run pops the oldest entry before pushing when full), completion times
+// arrive in nearly ascending order (issue cycles are close to monotone and
+// there are only a few distinct latencies), so a sorted insertion is one
+// comparison in the common case while min and drain become O(1) ring-head
+// pops with no sift. Multiset semantics are identical to the heap's, so
+// timing results are unchanged.
+type mshrRing struct {
+	buf  []uint64
+	head int // index of the minimum
+	n    int
 }
 
-func (h *mshrHeap) pop() uint64 {
-	s := *h
-	top := s[0]
-	n := len(s) - 1
-	s[0] = s[n]
-	s = s[:n]
-	*h = s
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < n && s[l] < s[min] {
-			min = l
+func (r *mshrRing) init(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r.buf = make([]uint64, capacity)
+	r.head, r.n = 0, 0
+}
+
+func (r *mshrRing) min() uint64 { return r.buf[r.head] }
+
+func (r *mshrRing) popMin() {
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+}
+
+// push inserts x keeping ascending order from head. The caller keeps
+// occupancy below capacity (Run's MSHR-full stall pops first).
+func (r *mshrRing) push(x uint64) {
+	size := len(r.buf)
+	i := r.n
+	for i > 0 {
+		j := r.head + i - 1
+		if j >= size {
+			j -= size
 		}
-		if r < n && s[r] < s[min] {
-			min = r
-		}
-		if min == i {
+		if r.buf[j] <= x {
 			break
 		}
-		s[i], s[min] = s[min], s[i]
-		i = min
+		k := j + 1
+		if k == size {
+			k = 0
+		}
+		r.buf[k] = r.buf[j]
+		i--
 	}
-	return top
+	j := r.head + i
+	if j >= size {
+		j -= size
+	}
+	r.buf[j] = x
+	r.n++
 }
 
 // Core is the out-of-order dependence-timing model. Per instruction it
@@ -137,14 +152,23 @@ type Core struct {
 	BP   *BranchPred
 	Hier *cache.Hierarchy
 
-	cycle       uint64 // dispatch front cycle (fixed point: subcycles via width counting)
-	widthCount  int
-	fetchStall  uint64   // cycle until which the front-end is squashed
-	completion  []uint64 // ring buffer of the last ROB completion times
-	head        int
-	outstanding mem.FlatMap[mem.Line, uint64] // line -> completion cycle
-	mshrFree    mshrHeap
-	maxComplete uint64
+	cycle        uint64 // dispatch front cycle (fixed point: subcycles via width counting)
+	widthCount   int
+	fetchStall   uint64                        // cycle until which the front-end is squashed
+	completion   []uint64                      // ring buffer of the last ROB completion times
+	robSlot      int                           // completion-ring slot of the next instruction (wraps at ROB)
+	outstanding  mem.FlatMap[mem.Line, uint64] // line -> completion cycle
+	mshrFree     mshrRing
+	maxComplete  uint64
+	mshrs        int    // L1D MSHR count, resolved once from the hierarchy config
+	pruneLen     int    // outstanding-table occupancy that triggers a prune
+	outMin       uint64 // lower bound on the outstanding table's minimum completion time
+	pruneScratch []mem.Line
+	// acc is the scratch record handed to Hierarchy.AccessData. It lives in
+	// the (heap-resident) core rather than on the Run/RunBatch stack because
+	// the oracle interface call inside AccessData makes a stack-local record
+	// escape — one heap allocation per quantum on the co-run hot path.
+	acc mem.Access
 }
 
 // NewCore builds a core over the given (already constructed) hierarchy and
@@ -153,18 +177,24 @@ func NewCore(cfg Config, hier *cache.Hierarchy, bp *BranchPred) *Core {
 	if bp == nil {
 		bp = NewBranchPred(cfg.BP)
 	}
+	mshrs := 8
+	if hier != nil && hier.Cfg.L1D.MSHRs > 0 {
+		mshrs = hier.Cfg.L1D.MSHRs
+	}
 	c := &Core{
 		Cfg:        cfg,
 		BP:         bp,
 		Hier:       hier,
 		completion: make([]uint64, cfg.ROB),
+		mshrs:      mshrs,
 	}
-	c.outstanding.Grow(4 * cfg.L1DMSHRs())
+	c.mshrFree.init(mshrs)
+	c.pruneLen = 4 * mshrs
+	c.outMin = ^uint64(0)
+	c.outstanding.Grow(c.pruneLen)
+	c.pruneScratch = make([]mem.Line, 0, 8*c.pruneLen)
 	return c
 }
-
-// L1DMSHRs returns the data-cache MSHR count from the hierarchy config.
-func (c Config) L1DMSHRs() int { return 8 }
 
 // Run executes n instructions of prog through the timing model and returns
 // the interval's statistics. Microarchitectural state (caches, predictor,
@@ -172,13 +202,9 @@ func (c Config) L1DMSHRs() int { return 8 }
 func (c *Core) Run(prog *workload.Program, n uint64) Stats {
 	var st Stats
 	st.Instructions = n
-	mshrs := c.Hier.Cfg.L1D.MSHRs
-	if mshrs <= 0 {
-		mshrs = 8
-	}
+	mshrs := c.mshrs
 	startCycle := c.cycle
 	var ins workload.Instr
-	var acc mem.Access
 	for i := uint64(0); i < n; i++ {
 		memIdx := prog.MemIndex()
 		instrIdx := prog.InstrIndex()
@@ -200,7 +226,7 @@ func (c *Core) Run(prog *workload.Program, n uint64) Stats {
 		}
 		// ROB: cannot dispatch past the completion of the instruction that
 		// frees our slot.
-		slot := c.head % c.Cfg.ROB
+		slot := c.robSlot
 		if c.completion[slot] > c.cycle {
 			c.cycle = c.completion[slot]
 			c.widthCount = 0
@@ -211,7 +237,10 @@ func (c *Core) Run(prog *workload.Program, n uint64) Stats {
 		ready := dispatch
 		dep := int(ins.DepDist)
 		if dep >= 1 && dep <= c.Cfg.ROB {
-			prodSlot := (c.head - dep + 2*c.Cfg.ROB) % c.Cfg.ROB
+			prodSlot := slot - dep
+			if prodSlot < 0 {
+				prodSlot += c.Cfg.ROB
+			}
 			if t := c.completion[prodSlot]; t > ready {
 				ready = t
 			}
@@ -223,8 +252,8 @@ func (c *Core) Run(prog *workload.Program, n uint64) Stats {
 			st.MemAccesses++
 			line := mem.LineOf(ins.Addr)
 			// Drain MSHRs whose miss has returned.
-			for len(c.mshrFree) > 0 && c.mshrFree[0] <= ready {
-				c.mshrFree.pop()
+			for c.mshrFree.n > 0 && c.mshrFree.min() <= ready {
+				c.mshrFree.popMin()
 			}
 			if t, inFlight := c.outstanding.Get(line); inFlight && t > ready {
 				// Delayed hit: coalesce onto the existing MSHR.
@@ -234,9 +263,9 @@ func (c *Core) Run(prog *workload.Program, n uint64) Stats {
 				if inFlight {
 					c.outstanding.Delete(line)
 				}
-				acc = mem.Access{PC: ins.PC, Addr: ins.Addr,
+				c.acc = mem.Access{PC: ins.PC, Addr: ins.Addr,
 					Write: ins.Kind == workload.KindStore, MemIdx: memIdx, InstrIdx: instrIdx}
-				r := c.Hier.AccessData(&acc)
+				r := c.Hier.AccessData(&c.acc)
 				if r.WarmingHit {
 					st.WarmingHits++
 				}
@@ -251,16 +280,19 @@ func (c *Core) Run(prog *workload.Program, n uint64) Stats {
 				issue := ready
 				if r.Served != cache.LevelL1 {
 					// Allocate an MSHR; stall issue if none free.
-					if len(c.mshrFree) >= mshrs {
-						if t := c.mshrFree[0]; t > issue {
+					if c.mshrFree.n >= mshrs {
+						if t := c.mshrFree.min(); t > issue {
 							issue = t
 						}
-						c.mshrFree.pop()
+						c.mshrFree.popMin()
 					}
 					complete = issue + uint64(r.Latency)
 					c.mshrFree.push(complete)
 					c.outstanding.Put(line, complete)
-					if c.outstanding.Len() > 4*mshrs {
+					if complete < c.outMin {
+						c.outMin = complete
+					}
+					if c.outstanding.Len() > c.pruneLen && c.outMin <= ready {
 						c.pruneOutstanding(ready)
 					}
 				} else {
@@ -287,7 +319,10 @@ func (c *Core) Run(prog *workload.Program, n uint64) Stats {
 		}
 
 		c.completion[slot] = complete
-		c.head++
+		if slot++; slot == c.Cfg.ROB {
+			slot = 0
+		}
+		c.robSlot = slot
 		if complete > c.maxComplete {
 			c.maxComplete = complete
 		}
@@ -303,7 +338,244 @@ func (c *Core) Run(prog *workload.Program, n uint64) Stats {
 	return st
 }
 
+// RunBatch executes n instructions of prog through the timing model by
+// decoding the whole quantum into b (caller-owned scratch, reset here) with
+// one FillInstrBatch call and timing it in a second pass. It is the batched
+// sibling of Run, exactly as AccessBatch is to Access: statistics, cache
+// and predictor state, and the in-flight-miss bookkeeping are bit-identical
+// to Run(prog, n) — pinned by TestRunBatchMatchesRun — and Run survives as
+// the per-instruction test oracle. The split is legal because instruction
+// generation is open loop: the program stream never depends on timing
+// state, so decoding a quantum ahead of timing it observes nothing
+// different.
+//
+// Two things make the batched pass faster beyond the decode specialization:
+// the hot scheduling state (cycle, width, ROB head) lives in locals across
+// the quantum instead of core fields, and the per-instruction I-fetch is
+// hoisted behind a fetch-line memo. The memo is exact, not approximate:
+// consecutive instructions on one fetch line cannot miss — the first fetch
+// left the line resident (hit or install) and most recently used, and
+// nothing else touches the private L1I inside the batch — so the memo
+// replays the hit's state updates (tick, recency, hit count) on the
+// remembered way via cache.Touch instead of re-running the lookup. The memo
+// is local to one call: it resets every batch, so state mutated between
+// batches (a Run interleaved on the same core, functional I-side warming)
+// cannot invalidate it.
+func (c *Core) RunBatch(prog *workload.Program, n uint64, b *workload.InstrBatch) Stats {
+	var st Stats
+	st.Instructions = n
+	instrBase := prog.InstrIndex()
+	memIdx := prog.MemIndex()
+	b.Reset()
+	prog.FillInstrBatch(n, b)
+
+	mshrs := c.mshrs
+	hier := c.Hier
+	l1i := hier.L1I
+	l1d := hier.L1D
+	l1iHitLat := hier.Cfg.L1I.HitLat
+	l1dHitLat := uint64(hier.Cfg.L1D.HitLat)
+	rob := c.Cfg.ROB
+	width := c.Cfg.Width
+	completion := c.completion
+	cycle := c.cycle
+	widthCount := c.widthCount
+	fetchStall := c.fetchStall
+	slot := c.robSlot
+	maxComplete := c.maxComplete
+	startCycle := cycle
+
+	lastLine := mem.Line(0)
+	lastWay := -1
+
+	batch := *b
+	for k := range batch {
+		ins := &batch[k]
+
+		// Front end: width, redirect and ROB constraints.
+		widthCount++
+		if widthCount >= width {
+			widthCount = 0
+			cycle++
+		}
+		if fetchStall > cycle {
+			cycle = fetchStall
+			widthCount = 0
+		}
+		// Instruction fetch, memoized per fetch line (guaranteed L1I hits
+		// replay through Touch; see the function comment).
+		if ins.FetchLine == lastLine && lastWay >= 0 {
+			l1i.Touch(lastWay)
+		} else {
+			if fl := hier.AccessInstr(ins.FetchLine); fl > l1iHitLat {
+				cycle += uint64(fl - l1iHitLat)
+			}
+			lastLine = ins.FetchLine
+			lastWay = l1i.WayIndexOf(ins.FetchLine)
+		}
+		// ROB: cannot dispatch past the completion of the instruction that
+		// frees our slot.
+		if completion[slot] > cycle {
+			cycle = completion[slot]
+			widthCount = 0
+		}
+		dispatch := cycle
+
+		// Register dependence.
+		ready := dispatch
+		dep := int(ins.DepDist)
+		if dep >= 1 && dep <= rob {
+			prodSlot := slot - dep
+			if prodSlot < 0 {
+				prodSlot += rob
+			}
+			if t := completion[prodSlot]; t > ready {
+				ready = t
+			}
+		}
+
+		var complete uint64
+		switch ins.Kind {
+		case workload.KindLoad, workload.KindStore:
+			st.MemAccesses++
+			line := mem.LineOf(ins.Addr)
+			// Drain MSHRs whose miss has returned.
+			for c.mshrFree.n > 0 && c.mshrFree.min() <= ready {
+				c.mshrFree.popMin()
+			}
+			if t, inFlight := c.outstanding.Get(line); inFlight && t > ready {
+				// Delayed hit: coalesce onto the existing MSHR.
+				st.MSHRHits++
+				complete = t
+			} else {
+				if inFlight {
+					c.outstanding.Delete(line)
+				}
+				// Inlined L1D-hit fast path: replays exactly AccessData's
+				// hit half (access count, L1D lookup) without building the
+				// access record — the record only feeds the miss tail
+				// (oracle, prefetcher), which AccessDataMiss runs.
+				hier.DataAccesses++
+				if out, _, _ := l1d.Lookup(line); out == cache.Hit {
+					st.L1DHits++
+					complete = ready + l1dHitLat
+				} else {
+					c.acc = mem.Access{PC: ins.PC, Addr: ins.Addr,
+						Write: ins.Kind == workload.KindStore, MemIdx: memIdx, InstrIdx: instrBase + uint64(k)}
+					r := hier.AccessDataMiss(&c.acc, line)
+					if r.WarmingHit {
+						st.WarmingHits++
+					}
+					switch r.Served {
+					case cache.LevelL1:
+						st.L1DHits++
+					case cache.LevelLLC:
+						st.LLCHits++
+					default:
+						st.MemServed++
+					}
+					issue := ready
+					if r.Served != cache.LevelL1 {
+						// Allocate an MSHR; stall issue if none free.
+						if c.mshrFree.n >= mshrs {
+							if t := c.mshrFree.min(); t > issue {
+								issue = t
+							}
+							c.mshrFree.popMin()
+						}
+						complete = issue + uint64(r.Latency)
+						c.mshrFree.push(complete)
+						c.outstanding.Put(line, complete)
+						if complete < c.outMin {
+							c.outMin = complete
+						}
+						if c.outstanding.Len() > c.pruneLen && c.outMin <= ready {
+							c.pruneOutstanding(ready)
+						}
+					} else {
+						complete = issue + uint64(r.Latency)
+					}
+				}
+			}
+			memIdx++
+			if ins.Kind == workload.KindStore {
+				// Stores retire through the store buffer; they occupy the
+				// MSHR (modeled above) but do not stall dependents.
+				complete = ready + 1
+			}
+		case workload.KindBranch:
+			complete = ready + uint64(ins.Lat)
+			st.BrLookups++
+			if !c.BP.PredictAndUpdate(ins.PC, ins.Taken) {
+				st.BrMispred++
+				// Front end squashed until the branch resolves.
+				if r := complete + c.Cfg.MispredictPenalty; r > fetchStall {
+					fetchStall = r
+				}
+			}
+		default:
+			complete = ready + uint64(ins.Lat)
+		}
+
+		completion[slot] = complete
+		if slot++; slot == rob {
+			slot = 0
+		}
+		if complete > maxComplete {
+			maxComplete = complete
+		}
+	}
+	end := cycle
+	if maxComplete > end {
+		end = maxComplete
+	}
+	st.Cycles = end - startCycle
+	// Advance the dispatch clock so the next interval starts after this
+	// interval's critical path.
+	c.cycle = end
+	c.widthCount = widthCount
+	c.fetchStall = fetchStall
+	c.robSlot = slot
+	c.maxComplete = maxComplete
+	return st
+}
+
 // pruneOutstanding drops completed in-flight entries (bounded table size).
+// The trigger threshold and the t <= ready predicate are part of observable
+// behavior, not just capacity management: an entry with completion time in
+// (dispatch, ready] that the prune drops would otherwise still be eligible
+// for a delayed hit at a later access whose ready cycle dips below t, so
+// changing when or what this prunes shifts golden figures (measured: lbm's
+// Fig 14 CPI moves in the fourth digit under a dispatch-cycle predicate).
+// Both engines (Run and RunBatch) therefore share this exact policy.
+//
+// What IS free is skipping a prune that would remove nothing — the table is
+// unchanged either way. The callers' outMin guard exploits that: outMin is
+// a lower bound on the table's minimum completion time (tightened on every
+// Put, recomputed exactly here), so outMin > ready proves every entry has
+// t > ready and the scan is a no-op. Under a miss burst the table sits
+// full of genuinely in-flight lines and the earlier unconditional policy
+// rescanned all of them on every miss; the guard turns that quadratic edge
+// into one comparison while leaving the sequence of effective prunes —
+// and therefore every result bit — untouched.
+// The collect-then-delete shape (rather than DeleteIf) is a cost choice
+// with the identical outcome — every entry with t <= now is removed — that
+// avoids DeleteIf's whole-table rescan after a deleting pass; the survivor
+// scan doubles as the exact recomputation of outMin.
 func (c *Core) pruneOutstanding(now uint64) {
-	c.outstanding.DeleteIf(func(_ mem.Line, t uint64) bool { return t <= now })
+	dead := c.pruneScratch[:0]
+	min := ^uint64(0)
+	c.outstanding.Range(func(l mem.Line, t uint64) bool {
+		if t <= now {
+			dead = append(dead, l)
+		} else if t < min {
+			min = t
+		}
+		return true
+	})
+	for _, l := range dead {
+		c.outstanding.Delete(l)
+	}
+	c.pruneScratch = dead[:0]
+	c.outMin = min
 }

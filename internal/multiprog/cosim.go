@@ -108,12 +108,22 @@ type coApp struct {
 type CoSim struct {
 	Cfg  CoSimConfig
 	apps []*coApp
+	// batch is the shared instruction-decode scratch handed to RunBatch —
+	// sized once for a full quantum, so the steady-state quantum loop never
+	// allocates (the AllocsPerRun gate in cosim_test pins this at 0).
+	batch workload.InstrBatch
+	// warmed is the warm-up phase's per-app instruction-quota scratch.
+	warmed []uint64
 }
 
 // NewCoSim builds the co-run engine for the given app mix.
 func NewCoSim(profs []*workload.Profile, cfg CoSimConfig) *CoSim {
 	hiers := cache.NewSharedHierarchy(cfg.HierConfig(), len(profs))
-	cs := &CoSim{Cfg: cfg}
+	cs := &CoSim{
+		Cfg:    cfg,
+		batch:  make(workload.InstrBatch, 0, cfg.quantum()),
+		warmed: make([]uint64, len(profs)),
+	}
 	for i, p := range profs {
 		prog := p.NewProgram(cfg.Scale)
 		cs.apps = append(cs.apps, &coApp{
@@ -125,31 +135,74 @@ func NewCoSim(profs []*workload.Profile, cfg CoSimConfig) *CoSim {
 	return cs
 }
 
-// next returns the index of the core to step: the one with the fewest
-// elapsed cycles among those still eligible (ties break by index, so
-// scheduling is deterministic), or -1 when no core is eligible. Every
-// phase — warm-up, alignment, measurement — schedules through this one
-// selector so their interleaving rules cannot drift apart.
-func (cs *CoSim) next(eligible func(i int) bool) int {
-	best := -1
-	for i, a := range cs.apps {
-		if !eligible(i) {
-			continue
-		}
-		if best < 0 || a.cycles < cs.apps[best].cycles {
-			best = i
-		}
+// warmup runs every app for perApp instructions, cycle-balanced: each step
+// goes to the core with the fewest elapsed cycles among those still under
+// their quota (ties break by index, so scheduling is deterministic). The
+// min-cycle scan is inlined — the earlier closure-driven selector cost an
+// eligibility closure per step on the engine's hottest control loop.
+func (cs *CoSim) warmup(perApp, q uint64) {
+	warmed := cs.warmed
+	for i := range warmed {
+		warmed[i] = 0
 	}
-	return best
+	for {
+		best := -1
+		for i, a := range cs.apps {
+			if warmed[i] >= perApp {
+				continue
+			}
+			if best < 0 || a.cycles < cs.apps[best].cycles {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		n := q
+		if rem := perApp - warmed[best]; rem < n {
+			n = rem
+		}
+		a := cs.apps[best]
+		st := a.core.RunBatch(a.prog, n, &cs.batch)
+		a.cycles += st.Cycles
+		warmed[best] += n
+	}
 }
 
-// below returns an eligibility check for "clock still under limit".
-func (cs *CoSim) below(limit uint64) func(int) bool {
-	return func(i int) bool { return cs.apps[i].cycles < limit }
+// runWindow advances the mix to the common cycle horizon, one quantum at a
+// time, always stepping the core with the fewest elapsed cycles (ties
+// break by index). The global minimum is the schedule: an app whose clock
+// passed the horizon is never the minimum while an eligible app remains,
+// and when the minimum itself passes the horizon every clock has. When
+// measure is set the per-app stats accumulate into the measured window.
+func (cs *CoSim) runWindow(horizon, q uint64, measure bool) {
+	if len(cs.apps) == 0 {
+		return
+	}
+	for {
+		best := 0
+		for i := 1; i < len(cs.apps); i++ {
+			if cs.apps[i].cycles < cs.apps[best].cycles {
+				best = i
+			}
+		}
+		a := cs.apps[best]
+		if a.cycles >= horizon {
+			return
+		}
+		st := a.core.RunBatch(a.prog, q, &cs.batch)
+		a.cycles += st.Cycles
+		if measure {
+			a.meas.Add(st)
+		}
+	}
 }
 
 // Run executes the warm-up then the measured co-run window and returns the
-// per-app results.
+// per-app results. Every phase feeds whole quanta to cpu.Core.RunBatch;
+// the interleaving (and every statistic) is bit-identical to the
+// per-instruction engine, which the cosim tests replay via cpu.Core.Run as
+// the oracle.
 func (cs *CoSim) Run() *CoRunResult {
 	cfg := cs.Cfg
 	q := cfg.quantum()
@@ -158,21 +211,7 @@ func (cs *CoSim) Run() *CoRunResult {
 	// cycle-balanced, populating the private L1s and the shared LLC under
 	// contention. Nothing is measured.
 	if cfg.WarmupInstr > 0 {
-		warmed := make([]uint64, len(cs.apps))
-		for {
-			best := cs.next(func(i int) bool { return warmed[i] < cfg.WarmupInstr })
-			if best < 0 {
-				break
-			}
-			n := q
-			if rem := cfg.WarmupInstr - warmed[best]; rem < n {
-				n = rem
-			}
-			a := cs.apps[best]
-			st := a.core.Run(a.prog, n)
-			a.cycles += st.Cycles
-			warmed[best] += n
-		}
+		cs.warmup(cfg.WarmupInstr, q)
 	}
 
 	// Alignment: the instruction-quota warm-up leaves the cores' clocks
@@ -188,29 +227,11 @@ func (cs *CoSim) Run() *CoRunResult {
 			start = a.cycles
 		}
 	}
-	for {
-		best := cs.next(cs.below(start))
-		if best < 0 {
-			break
-		}
-		a := cs.apps[best]
-		st := a.core.Run(a.prog, q)
-		a.cycles += st.Cycles
-	}
+	cs.runWindow(start, q, false)
 
 	// Measured window: a common cycle horizon, so every app covers the
 	// same wall-clock span at its own (contended) speed.
-	horizon := start + cfg.MeasureCycles
-	for {
-		best := cs.next(cs.below(horizon))
-		if best < 0 {
-			break
-		}
-		a := cs.apps[best]
-		st := a.core.Run(a.prog, q)
-		a.cycles += st.Cycles
-		a.meas.Add(st)
-	}
+	cs.runWindow(start+cfg.MeasureCycles, q, true)
 
 	res := &CoRunResult{LLCPaperBytes: cfg.LLCPaperBytes}
 	var totalMem uint64

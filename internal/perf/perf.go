@@ -15,7 +15,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 )
 
@@ -72,6 +74,11 @@ func Run(s Scenario, quick bool, targetDur time.Duration) Measurement {
 	}
 	step() // warm-up repetition, unmeasured
 	runtime.GC()
+	return measureSteps(s.Name, step, targetDur)
+}
+
+// measureSteps runs the steady-state repetitions and aggregates them.
+func measureSteps(name string, step func() uint64, targetDur time.Duration) Measurement {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()
@@ -87,7 +94,7 @@ func Run(s Scenario, quick bool, targetDur time.Duration) Measurement {
 	wall := time.Since(t0)
 	runtime.ReadMemStats(&after)
 	m := Measurement{
-		Scenario: s.Name,
+		Scenario: name,
 		Reps:     reps,
 		Accesses: accesses,
 		WallNs:   wall.Nanoseconds(),
@@ -115,6 +122,54 @@ func RunAll(scens []Scenario, quick bool, targetDur time.Duration) *Report {
 		r.Scenarios = append(r.Scenarios, Run(s, quick, targetDur))
 	}
 	return r
+}
+
+// RunAllProfiled is RunAll with one CPU profile per scenario, written to
+// dir/<scenario>.pprof — the harness hook for perf hunts, where a
+// whole-run profile smears five scenarios' flame graphs into one another.
+// Profiling covers exactly the measured window of each scenario (setup and
+// the unmeasured warm-up repetition run before the profile starts).
+func RunAllProfiled(scens []Scenario, quick bool, targetDur time.Duration, dir string) (*Report, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	r := &Report{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     quick,
+	}
+	for _, s := range scens {
+		m, err := runProfiled(s, quick, targetDur, filepath.Join(dir, s.Name+".pprof"))
+		if err != nil {
+			return nil, err
+		}
+		r.Scenarios = append(r.Scenarios, m)
+	}
+	return r, nil
+}
+
+// runProfiled mirrors Run with the measured repetitions bracketed by a CPU
+// profile. Setup and the warm-up repetition run before profiling starts so
+// the profile holds steady-state samples only.
+func runProfiled(s Scenario, quick bool, targetDur time.Duration, path string) (Measurement, error) {
+	step, cleanup := s.Setup(quick)
+	if cleanup != nil {
+		defer cleanup()
+	}
+	step() // warm-up repetition, unmeasured and unprofiled
+	runtime.GC()
+	f, err := os.Create(path)
+	if err != nil {
+		return Measurement{}, err
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		return Measurement{}, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	defer pprof.StopCPUProfile()
+	return measureSteps(s.Name, step, targetDur), nil
 }
 
 // WriteJSON persists the report.

@@ -78,6 +78,93 @@ func TestFillBatchMatchesNext(t *testing.T) {
 	}
 }
 
+// TestFillInstrBatchMatchesNext pins the instruction-batch decoder to the
+// access-at-a-time generator: identical instruction records and identical
+// subsequent state, across chunk boundaries and phase edges.
+func TestFillInstrBatchMatchesNext(t *testing.T) {
+	const span = 300_000
+	for _, prof := range batchProfiles() {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			ref := prof.NewProgram(64)
+			bat := prof.NewProgram(64)
+
+			want := make([]Instr, span)
+			for i := range want {
+				ref.Next(&want[i])
+			}
+
+			var got InstrBatch
+			// Uneven chunk sizes so boundaries land everywhere, including
+			// mid-burst and on phase edges.
+			for done, chunk := uint64(0), uint64(1); done < span; chunk = chunk*7%8191 + 1 {
+				n := chunk
+				if done+n > span {
+					n = span - done
+				}
+				bat.FillInstrBatch(n, &got)
+				done += n
+			}
+
+			if len(got) != len(want) {
+				t.Fatalf("batched path yielded %d instructions, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("instruction %d differs: batched %+v, want %+v", i, got[i], want[i])
+				}
+			}
+			if bat.InstrIndex() != ref.InstrIndex() || bat.MemIndex() != ref.MemIndex() {
+				t.Fatalf("state diverged: batched (%d,%d), ref (%d,%d)",
+					bat.InstrIndex(), bat.MemIndex(), ref.InstrIndex(), ref.MemIndex())
+			}
+			// The continuations must agree too.
+			for i := 0; i < 10_000; i++ {
+				var a, b Instr
+				ref.Next(&a)
+				bat.Next(&b)
+				if a != b {
+					t.Fatalf("continuation instruction %d differs: %+v vs %+v", i, b, a)
+				}
+			}
+		})
+	}
+}
+
+// TestFillInstrBatchSteadyStateAllocs: a sized instruction batch refilled
+// by a phase-free program allocates nothing.
+func TestFillInstrBatchSteadyStateAllocs(t *testing.T) {
+	prog := GemsFDTD().NewProgram(64)
+	var batch InstrBatch
+	prog.FillInstrBatch(4096, &batch) // size the batch
+	allocs := testing.AllocsPerRun(20, func() {
+		batch.Reset()
+		prog.FillInstrBatch(4096, &batch)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state FillInstrBatch allocated %.2f times per window", allocs)
+	}
+}
+
+// TestDepModMatchesModulo pins the dependence-distance fastmod against the
+// % operator over the full numerator range (12 bits of the instruction
+// draw) for every ILP-derived span in the benchmark suite.
+func TestDepModMatchesModulo(t *testing.T) {
+	spans := map[uint32]struct{}{1: {}, 2: {}, 3: {}}
+	for _, p := range Benchmarks() {
+		pr := p.NewProgram(64)
+		spans[pr.depSpan] = struct{}{}
+	}
+	for span := range spans {
+		pr := &Program{depSpan: span, depMagic: ^uint64(0)/uint64(span) + 1}
+		for x := uint32(0); x < 1<<12; x++ {
+			if got, want := pr.depMod(x), uint16(x%span); got != want {
+				t.Fatalf("depMod(%d) with span %d = %d, want %d", x, span, got, want)
+			}
+		}
+	}
+}
+
 // TestFastmodMatchesModulo pins genMem's Lemire fastmod against the %
 // operator over the full 16-bit numerator range for every PC count in use.
 func TestFastmodMatchesModulo(t *testing.T) {

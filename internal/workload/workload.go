@@ -209,6 +209,7 @@ type Program struct {
 	codeLines uint64
 	codePos   uint64
 	depSpan   uint32
+	depMagic  uint64 // floor(2^64/depSpan)+1: Lemire fastmod magic
 	noDepTh   uint32 // of 16: instructions with no input dependence
 }
 
@@ -243,6 +244,7 @@ func (p *Profile) NewProgram(scale uint64) *Program {
 	if pr.depSpan == 0 {
 		pr.depSpan = 1
 	}
+	pr.depMagic = ^uint64(0)/uint64(pr.depSpan) + 1
 	ilp := p.ILP
 	if ilp < 1 {
 		ilp = 1
@@ -497,7 +499,7 @@ func (pr *Program) Next(ins *Instr) {
 	if depBits&0xf < pr.noDepTh {
 		ins.DepDist = 0
 	} else {
-		ins.DepDist = uint16(1 + (depBits>>4)%pr.depSpan)
+		ins.DepDist = 1 + pr.depMod(depBits>>4)
 	}
 	sel := uint32(r & 0xffff)
 	switch {
@@ -518,6 +520,15 @@ func (pr *Program) Next(ins *Instr) {
 			ins.Lat = 1
 		}
 	}
+}
+
+// depMod returns x % depSpan via Lemire's fastmod (two multiplies, no
+// divide — the dependence-distance draw runs once per instruction on both
+// generator paths). Exact because x fits 32 bits; pinned against the %
+// operator by TestDepModMatchesModulo.
+func (pr *Program) depMod(x uint32) uint16 {
+	m, _ := bits.Mul64(pr.depMagic*uint64(x), uint64(pr.depSpan))
+	return uint16(m)
 }
 
 func (pr *Program) genMem(ins *Instr, rb uint32) {
@@ -628,6 +639,83 @@ func (pr *Program) FillBatch(n uint64, b *mem.Batch) {
 		}
 	}
 	*b = s
+}
+
+// InstrBatch is a reusable, caller-owned buffer of decoded instructions —
+// the instruction-side sibling of mem.Batch, and the unit of work of the
+// batched timing core (cpu.Core.RunBatch). The same ownership rules apply:
+// the caller owns the backing array, producers append, consumers read
+// by-value records and must copy anything they keep, and Reset truncates
+// without freeing so a batch sized once for its quantum never allocates
+// again in steady state.
+type InstrBatch []Instr
+
+// Reset truncates the batch, retaining the backing array.
+func (b *InstrBatch) Reset() { *b = (*b)[:0] }
+
+// FillInstrBatch executes n instructions, appending every one of them to b
+// as a by-value record. It is the decode loop of the batched timing core:
+// where FillBatch materializes only the memory accesses (the cache and
+// reuse layers observe nothing else), FillInstrBatch materializes the full
+// dynamic instruction stream — the timing model needs the fetch lines,
+// dependence distances, kinds and latencies of non-memory instructions
+// too. Program state evolution is bit-identical to n calls of Next (pinned
+// by TestFillInstrBatchMatchesNext); only the per-call overhead of the
+// handler-driven path is gone.
+func (pr *Program) FillInstrBatch(n uint64, b *InstrBatch) {
+	// Extend once up front and write each record in place: a per-record
+	// append costs a capacity check plus a 32-byte copy out of a scratch
+	// Instr, which the profile showed was a tenth of the whole co-run cell.
+	// Every path below assigns every field, so stale records in the reused
+	// backing array never leak through.
+	base := len(*b)
+	need := base + int(n)
+	if cap(*b) < need {
+		nb := make(InstrBatch, need)
+		copy(nb, *b)
+		*b = nb
+	}
+	s := (*b)[:need]
+	*b = s
+	chunk := s[base:]
+	for i := range chunk {
+		if pr.instrIdx >= pr.nextPhaseEdge {
+			pr.rebuildWeights()
+		}
+		r := pr.rng.Uint64()
+		pr.instrIdx++
+		pr.codePos++
+		if pr.codePos>>3 >= pr.codeLines {
+			pr.codePos = 0
+		}
+		ins := &chunk[i]
+		ins.FetchLine = mem.Line(codeBaseLine + pr.codePos>>3)
+		depBits := uint32(r >> 48)
+		if depBits&0xf < pr.noDepTh {
+			ins.DepDist = 0
+		} else {
+			ins.DepDist = 1 + pr.depMod(depBits>>4)
+		}
+		sel := uint32(r & 0xffff)
+		switch {
+		case sel < pr.thMem:
+			pr.genMem(ins, uint32(r>>16))
+		case sel < pr.thBranch:
+			pr.genBranch(ins, uint32(r>>16))
+		default:
+			ins.Addr = 0
+			ins.Taken = false
+			if uint32(r>>16)&0xffff < pr.thFP {
+				ins.Kind = KindFP
+				ins.PC = 0x900000 + uint64(r>>32)%64*4
+				ins.Lat = 4
+			} else {
+				ins.Kind = KindALU
+				ins.PC = 0xa00000 + uint64(r>>32)%64*4
+				ins.Lat = 1
+			}
+		}
+	}
 }
 
 // genBranchState applies exactly the state updates of genBranch (the loop
