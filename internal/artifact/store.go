@@ -64,13 +64,26 @@ type envelope struct {
 	Payload      json.RawMessage `json:"payload"`
 }
 
-// Stats is a snapshot of the store's operation counters.
+// Stats is a snapshot of the store's operation counters. The JSON field
+// names are a wire contract: lab.Server surfaces the struct verbatim
+// under "store" on /v1/status, so operators can watch checkpoint pressure
+// (evictions), cache effectiveness (hits vs misses) and integrity
+// failures (corrupt) on a running service.
 type Stats struct {
-	Loads, LoadMisses  uint64
-	Saves              uint64
-	Evictions, Corrupt uint64
-	Artifacts          int
-	Bytes, MaxBytes    int64
+	Loads      uint64 `json:"loads"`
+	LoadMisses uint64 `json:"load_misses"`
+	// Hits is derived (Loads - LoadMisses): loads served from a valid
+	// artifact.
+	Hits      uint64 `json:"hits"`
+	Saves     uint64 `json:"saves"`
+	Evictions uint64 `json:"evictions"`
+	// Corrupt counts integrity failures: unreadable, unparsable,
+	// wrong-kind, wrong-version or hash-mismatched artifacts (each also a
+	// LoadMiss, each deleted best-effort and recomputed).
+	Corrupt   uint64 `json:"corrupt"`
+	Artifacts int    `json:"artifacts"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes"`
 }
 
 // Store is a content-addressed artifact store rooted at one directory.
@@ -153,7 +166,8 @@ func (s *Store) Dir() string { return s.dir }
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{Loads: s.loads, LoadMisses: s.loadMisses, Saves: s.saves,
+	return Stats{Loads: s.loads, LoadMisses: s.loadMisses,
+		Hits: s.loads - s.loadMisses, Saves: s.saves,
 		Evictions: s.evictions, Corrupt: s.corrupt,
 		Artifacts: len(s.index), Bytes: s.total, MaxBytes: s.maxBytes}
 }

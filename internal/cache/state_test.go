@@ -1,0 +1,85 @@
+package cache
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// driveHierarchy runs n instructions of a profile's stream through the
+// hierarchy, exercising both the instruction and data sides (and the
+// prefetcher, when configured).
+func driveHierarchy(h *Hierarchy, prof *workload.Profile, scale, n uint64) {
+	prog := prof.NewProgram(scale)
+	var ins workload.Instr
+	for i := uint64(0); i < n; i++ {
+		prog.Next(&ins)
+		h.AccessInstr(ins.FetchLine)
+		if ins.Kind == workload.KindLoad || ins.Kind == workload.KindStore {
+			h.AccessData(&mem.Access{Addr: ins.Addr, Write: ins.Kind == workload.KindStore,
+				MemIdx: prog.MemIndex(), InstrIdx: prog.InstrIndex()})
+		}
+	}
+}
+
+// TestHierarchyStateRoundTrip: for every suite profile and both hierarchy
+// shapes (the paper default and a small prefetching configuration), a
+// warmed hierarchy's state must survive encode → JSON → decode → restore
+// into a fresh hierarchy deep-equal — the persistence path of a
+// checkpointed engine.
+func TestHierarchyStateRoundTrip(t *testing.T) {
+	small := DefaultHierarchy(1<<20, 256)
+	small.Prefetch = true
+	configs := []struct {
+		name  string
+		scale uint64
+		cfg   HierarchyConfig
+	}{
+		{"default-8M", 64, DefaultHierarchy(8<<20, 64)},
+		{"prefetch-1M", 256, small},
+	}
+	for _, tc := range configs {
+		for _, prof := range workload.Benchmarks() {
+			h := NewHierarchy(tc.cfg, nil)
+			driveHierarchy(h, prof, tc.scale, 20_000)
+			want := h.State(true)
+
+			b, err := json.Marshal(want)
+			if err != nil {
+				t.Fatalf("%s/%s: encode: %v", tc.name, prof.Name, err)
+			}
+			var decoded HierarchyState
+			if err := json.Unmarshal(b, &decoded); err != nil {
+				t.Fatalf("%s/%s: decode: %v", tc.name, prof.Name, err)
+			}
+			fresh := NewHierarchy(tc.cfg, nil)
+			if err := fresh.SetState(decoded); err != nil {
+				t.Fatalf("%s/%s: restore: %v", tc.name, prof.Name, err)
+			}
+			if got := fresh.State(true); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: round-tripped hierarchy state diverged", tc.name, prof.Name)
+			}
+		}
+	}
+}
+
+// TestHierarchyStateRejectsShapeMismatch: restoring into a hierarchy of a
+// different geometry or prefetcher setup fails loudly instead of
+// corrupting state.
+func TestHierarchyStateRejectsShapeMismatch(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy(8<<20, 64), nil)
+	driveHierarchy(h, workload.Mcf(), 64, 5_000)
+	s := h.State(true)
+
+	if err := NewHierarchy(DefaultHierarchy(1<<20, 256), nil).SetState(s); err == nil {
+		t.Error("restore accepted a wrong-geometry hierarchy state")
+	}
+	pref := DefaultHierarchy(8<<20, 64)
+	pref.Prefetch = true
+	if err := NewHierarchy(pref, nil).SetState(s); err == nil {
+		t.Error("restore accepted a state without the target's prefetcher")
+	}
+}

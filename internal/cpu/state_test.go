@@ -1,0 +1,64 @@
+package cpu
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/workload"
+)
+
+// TestCoreStateRoundTrip: for every suite profile, a mid-run core's state
+// (timing wheel, ROB slot, outstanding-miss table, MSHR ring, branch
+// predictor) must survive encode → JSON → decode → restore into a fresh
+// core deep-equal. The State encoding is canonical (outstanding misses
+// sorted, MSHR ring flattened), so capture-after-restore equality is
+// exact even though the internal table layouts differ.
+func TestCoreStateRoundTrip(t *testing.T) {
+	const scale = 64
+	hcfg := cache.DefaultHierarchy(8<<20, scale)
+	for _, prof := range workload.Benchmarks() {
+		core := NewCore(DefaultConfig(), cache.NewHierarchy(hcfg, nil), NewBranchPred(DefaultBPConfig()))
+		core.Run(prof.NewProgram(scale), 20_000)
+		want := core.State()
+
+		b, err := json.Marshal(want)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", prof.Name, err)
+		}
+		var decoded CoreState
+		if err := json.Unmarshal(b, &decoded); err != nil {
+			t.Fatalf("%s: decode: %v", prof.Name, err)
+		}
+		fresh := NewCore(DefaultConfig(), cache.NewHierarchy(hcfg, nil), NewBranchPred(DefaultBPConfig()))
+		if err := fresh.SetState(decoded); err != nil {
+			t.Fatalf("%s: restore: %v", prof.Name, err)
+		}
+		if got := fresh.State(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: round-tripped core state diverged:\n got  %+v\n want %+v", prof.Name, got, want)
+		}
+	}
+}
+
+// TestCoreStateRejectsShapeMismatch: a state captured from a differently
+// shaped machine (ROB size, MSHR count, predictor tables) must be
+// rejected on restore.
+func TestCoreStateRejectsShapeMismatch(t *testing.T) {
+	hcfg := cache.DefaultHierarchy(8<<20, 64)
+	core := NewCore(DefaultConfig(), cache.NewHierarchy(hcfg, nil), NewBranchPred(DefaultBPConfig()))
+	core.Run(workload.Mcf().NewProgram(64), 10_000)
+	s := core.State()
+
+	small := DefaultConfig()
+	small.ROB = len(s.Completion) / 2
+	if err := NewCore(small, cache.NewHierarchy(hcfg, nil), NewBranchPred(DefaultBPConfig())).SetState(s); err == nil {
+		t.Error("restore accepted a wrong-ROB-size state")
+	}
+
+	bpc := DefaultBPConfig()
+	bpc.LocalEntries /= 2
+	if err := NewCore(DefaultConfig(), cache.NewHierarchy(hcfg, nil), NewBranchPred(bpc)).SetState(s); err == nil {
+		t.Error("restore accepted a wrong-predictor-geometry state")
+	}
+}

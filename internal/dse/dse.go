@@ -102,6 +102,13 @@ func RunParallel(prof *workload.Profile, cfg warm.Config, llcPaperSizes []uint64
 			Bench: prof.Name, Method: "DeLorean-DSE", Counters: analysts[i].Counters})
 	}
 
+	// The tracker advances to each region's warm point exactly once and its
+	// captured position seeds every Analyst's seek: the gap's address-
+	// generation work is paid once per region instead of once per LLC size
+	// (warm-state reuse across sizes; bit-identical to the per-Analyst
+	// fast-forward it replaces — Seek's contract — and charged to each
+	// Analyst's VFF ledger identically).
+	tracker := prof.NewProgram(cfg.Scale)
 	var engagedSum int
 	for m := 0; m < cfg.Regions; m++ {
 		rd := d.ScoutRegion(m)
@@ -110,16 +117,24 @@ func RunParallel(prof *workload.Profile, cfg warm.Config, llcPaperSizes []uint64
 		}
 		engagedSum += rd.Engaged
 		records := rd.AllRecords()
+		// DetailWarm is size-independent (the sizes vary only the LLC), so
+		// one warm point serves all Analysts.
+		warmStart := rd.Start - cfg.DetailWarm
+		tracker.Skip(warmStart - tracker.InstrIndex())
+		warmPos := tracker.Position()
 		runner.ForEach(len(analysts), workers, func(i int) {
 			sizeCfg := analystCfgs[i]
 			eng := analysts[i]
-			warmStart := rd.Start - sizeCfg.DetailWarm
 			eng.Prop = true
-			eng.FastForwardTo(warmStart)
 			hier := cache.NewHierarchy(sizeCfg.HierConfig(), nil)
 			cr := cpu.NewCore(sizeCfg.CPU, hier, nil)
 			oracle := warm.NewDSWOracle(records, rd.Vicinity, rd.Assoc, hier)
-			rr := warm.EvalRegion(sizeCfg, eng, cr, oracle)
+			rr, err := warm.EvalRegionAt(sizeCfg, eng, warmPos, cr, oracle)
+			if err != nil {
+				// Tracker and Analysts run the same program at the same
+				// scale; a seek failure is a programming bug.
+				panic(err)
+			}
 			res.PerSize[i].Regions = append(res.PerSize[i].Regions, rr)
 		})
 	}

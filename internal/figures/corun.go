@@ -71,8 +71,19 @@ type CoRunCell struct {
 // driver, is what bounds the profiling work — and the per-(mix, size)
 // co-run simulations. The StatCC fixed point is solved from the
 // calibrations when the matrix lands. Results are deterministic for any
-// engine worker count.
+// engine worker count. Each simulation cell forks its mix's warmed
+// checkpoint (the corun-warm spec) instead of re-running the warm-up.
 func CoRunMatrix(eng *runner.Engine, scenarios []CoRunScenario, llcPaperSizes []uint64, base warm.Config) []CoRunCell {
+	return CoRunMatrixMode(eng, scenarios, llcPaperSizes, base, false)
+}
+
+// CoRunMatrixMode is CoRunMatrix with an explicit execution path for the
+// simulation cells: straight runs every cell warm-up-and-all (the
+// bit-exactness oracle, and the right choice when no two cells share a
+// warm point), forked (the default) branches each cell from its mix's
+// checkpoint. Both paths produce identical cells — the straight flag is
+// an execution hint, invisible to spec keys and artifacts.
+func CoRunMatrixMode(eng *runner.Engine, scenarios []CoRunScenario, llcPaperSizes []uint64, base warm.Config, straight bool) []CoRunCell {
 	// Pass 1: size-independent solo profiles, warmed in parallel so the
 	// calibrations' nested lookups all hit the cache.
 	seen := make(map[string]bool)
@@ -118,7 +129,7 @@ func CoRunMatrix(eng *runner.Engine, scenarios []CoRunScenario, llcPaperSizes []
 			for i, app := range sc.Apps {
 				refs[i] = spec.Ref(app)
 			}
-			jobs = append(jobs, spec.Job(spec.CoRunSimParams{Mix: sc.Name, Apps: refs, Cfg: cfg}))
+			jobs = append(jobs, spec.Job(spec.CoRunSimParams{Mix: sc.Name, Apps: refs, Cfg: cfg, Straight: straight}))
 		}
 	}
 	results := eng.RunMatrix(jobs)

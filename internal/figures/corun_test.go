@@ -82,6 +82,22 @@ func TestCoRunMatrixDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestCoRunMatrixForkedMatchesStraight: the golden-figure guarantee of the
+// checkpoint tentpole at the matrix level — the forked execution path
+// (each simulation cell branching from its mix's warmed checkpoint) must
+// produce cells deep-equal to the straight-through oracle path, so no
+// rendered figure can move.
+func TestCoRunMatrixForkedMatchesStraight(t *testing.T) {
+	scenarios := tinyCoRunScenarios()
+	sizes := []uint64{128 << 10, 512 << 10}
+	base := tinyCoRunBase()
+	straight := CoRunMatrixMode(runner.New(0), scenarios, sizes, base, true)
+	forked := CoRunMatrixMode(runner.New(0), scenarios, sizes, base, false)
+	if !reflect.DeepEqual(forked, straight) {
+		t.Errorf("forked matrix diverged from straight oracle:\nforked:   %+v\nstraight: %+v", forked, straight)
+	}
+}
+
 // TestCoRunCalibrationShared: an app appearing in two mixes must be
 // profiled once (size-independent pass) and calibrated once per size —
 // the job-list dedup and the runner cache together bound the work.
@@ -89,10 +105,11 @@ func TestCoRunCalibrationShared(t *testing.T) {
 	eng := runner.New(0)
 	CoRunMatrix(eng, tinyCoRunScenarios(), []uint64{256 << 10}, tinyCoRunBase())
 	hits, misses := eng.CacheStats()
-	// 3 unique apps: 3 profile jobs + 3 per-size calibrations + 2 co-sims;
+	// 3 unique apps: 3 profile jobs + 3 per-size calibrations + 2 co-sims,
+	// each co-sim forking its mix's nested corun-warm checkpoint (2 more);
 	// co-a appears in both mixes but must not run twice anywhere.
-	if misses != 8 {
-		t.Errorf("executed jobs = %d, want 8 (3 profiles + 3 calibrations + 2 co-sims)", misses)
+	if misses != 10 {
+		t.Errorf("executed jobs = %d, want 10 (3 profiles + 3 calibrations + 2 warm checkpoints + 2 co-sims)", misses)
 	}
 	_ = hits
 }

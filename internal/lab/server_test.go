@@ -148,6 +148,79 @@ func TestServiceLifecycle(t *testing.T) {
 	}
 }
 
+// TestStatusSurfacesStoreCounters pins the /v1/status wire contract for
+// the artifact-store counters: hit/miss/save/eviction/integrity-failure
+// counts must appear under "store" with their documented field names, and
+// must move as the store works (a save after an execution, a hit after a
+// store-served re-run).
+func TestStatusSurfacesStoreCounters(t *testing.T) {
+	dir := t.TempDir()
+	body := shortSpec(t)
+
+	getStatus := func(ts *httptest.Server) map[string]json.RawMessage {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st struct {
+			Store map[string]json.RawMessage `json:"store"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Store == nil {
+			t.Fatal("/v1/status has no store section")
+		}
+		return st.Store
+	}
+	asUint := func(store map[string]json.RawMessage, field string) uint64 {
+		t.Helper()
+		raw, ok := store[field]
+		if !ok {
+			t.Fatalf("store status missing %q: %v", field, store)
+		}
+		var v uint64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatalf("store.%s: %v", field, err)
+		}
+		return v
+	}
+
+	eng, store, err := lab.NewEngine(2, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(lab.NewServer(eng, store).Handler())
+	defer ts.Close()
+	waitDone(t, ts, postSpec(t, ts, body).Key)
+
+	st := getStatus(ts)
+	for _, field := range []string{"loads", "load_misses", "hits", "saves", "evictions", "corrupt", "artifacts", "bytes", "max_bytes"} {
+		asUint(st, field)
+	}
+	if saves := asUint(st, "saves"); saves == 0 {
+		t.Error("executed job not reflected in store saves")
+	}
+	if corrupt := asUint(st, "corrupt"); corrupt != 0 {
+		t.Errorf("clean store reports %d integrity failures", corrupt)
+	}
+
+	// A fresh service over the same store serves the spec from disk: the
+	// hit counter must move.
+	eng2, store2, err := lab.NewEngine(2, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(lab.NewServer(eng2, store2).Handler())
+	defer ts2.Close()
+	waitDone(t, ts2, postSpec(t, ts2, body).Key)
+	if hits := asUint(getStatus(ts2), "hits"); hits == 0 {
+		t.Error("store-served re-run not reflected in store hits")
+	}
+}
+
 // TestServiceRejectsBadSpecs: the strict decode gate is wired in.
 func TestServiceRejectsBadSpecs(t *testing.T) {
 	eng, _, _ := lab.NewEngine(1, "", 0)

@@ -1,0 +1,140 @@
+// Checkpoint/fork for the co-run engine: WarmAlign once, capture the
+// complete warmed state as a serializable CoSimCheckpoint, then fork any
+// number of independent measured runs from it. A forked run is
+// bit-identical to the same run executed straight through (pinned by
+// TestForkedRunMatchesStraight over the full suite) — the checkpoint is an
+// execution shortcut, never a model change.
+//
+// Copy-on-write discipline (DESIGN.md §10): a checkpoint is an immutable
+// value. The runner memoizes decoded artifacts, so one *CoSimCheckpoint
+// may be shared by many concurrent consumers; every restore therefore
+// deep-copies all mutable state out of it (the State/SetState pairs copy
+// in both directions) and never aliases a checkpoint slice from live
+// engine state. The one read-only exception is the workload profiles,
+// which programs only ever read.
+package multiprog
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/workload"
+)
+
+// CheckpointVersion identifies the CoSimCheckpoint encoding. Bump on any
+// change to the state inventory or field semantics; NewCoSimFromCheckpoint
+// rejects versions it does not understand.
+const CheckpointVersion = 1
+
+// AppCheckpoint is one app's warmed state: program position, core timing
+// state, and the per-core hierarchy state (private L1s, prefetcher,
+// per-core counters — the shared LLC is stored once in CoSimCheckpoint).
+type AppCheckpoint struct {
+	Name   string               `json:"name"`
+	Prog   workload.Position    `json:"prog"`
+	Cycles uint64               `json:"cycles"`
+	Core   cpu.CoreState        `json:"core"`
+	Hier   cache.HierarchyState `json:"hier"`
+}
+
+// CoSimCheckpoint is the complete warmed state of a co-run engine after
+// WarmAlign: everything a fresh engine needs to continue bit-identically.
+// The profiles ride along so a checkpoint decoded from the artifact store
+// is self-contained.
+type CoSimCheckpoint struct {
+	Version     int                `json:"version"`
+	Cfg         CoSimConfig        `json:"cfg"`
+	Profiles    []workload.Profile `json:"profiles"`
+	AlignCycles uint64             `json:"align_cycles"`
+	// LLC is the shared last-level cache, stored exactly once (the per-app
+	// hierarchy states omit it; see cache.HierarchyState).
+	LLC  cache.CacheState `json:"llc"`
+	Apps []AppCheckpoint  `json:"apps"`
+}
+
+// Checkpoint captures the engine's complete state. Meant to be taken at
+// the WarmAlign/RunMeasured cut — the captured state then seeds forked
+// measured runs — but valid at any quantum boundary. The result shares no
+// mutable storage with the engine.
+func (cs *CoSim) Checkpoint() *CoSimCheckpoint {
+	ck := &CoSimCheckpoint{
+		Version:     CheckpointVersion,
+		Cfg:         cs.Cfg,
+		Profiles:    make([]workload.Profile, len(cs.apps)),
+		AlignCycles: cs.alignStart,
+		LLC:         cs.apps[0].core.Hier.LLC.State(),
+		Apps:        make([]AppCheckpoint, len(cs.apps)),
+	}
+	for i, a := range cs.apps {
+		ck.Profiles[i] = *a.prog.Profile()
+		ck.Apps[i] = AppCheckpoint{
+			Name:   a.name,
+			Prog:   a.prog.Position(),
+			Cycles: a.cycles,
+			Core:   a.core.State(),
+			Hier:   a.core.Hier.State(false),
+		}
+	}
+	return ck
+}
+
+// NewCoSimFromCheckpoint forks a fresh, independent co-run engine from a
+// checkpoint: construct from the embedded profiles and config, then
+// deep-copy every piece of captured state in. Call RunMeasured on the
+// result. Any number of engines can be forked from one checkpoint, including
+// concurrently — the checkpoint is never written to.
+func NewCoSimFromCheckpoint(ck *CoSimCheckpoint) (*CoSim, error) {
+	if ck.Version != CheckpointVersion {
+		return nil, fmt.Errorf("multiprog: checkpoint version %d, engine understands %d", ck.Version, CheckpointVersion)
+	}
+	if len(ck.Apps) == 0 || len(ck.Apps) != len(ck.Profiles) {
+		return nil, fmt.Errorf("multiprog: checkpoint has %d apps but %d profiles", len(ck.Apps), len(ck.Profiles))
+	}
+	profs := make([]*workload.Profile, len(ck.Profiles))
+	for i := range ck.Profiles {
+		profs[i] = &ck.Profiles[i]
+	}
+	cs := NewCoSim(profs, ck.Cfg)
+	cs.alignStart = ck.AlignCycles
+	// The constructor shares one LLC across all cores; restore it once.
+	if err := cs.apps[0].core.Hier.LLC.SetState(ck.LLC); err != nil {
+		return nil, fmt.Errorf("multiprog: checkpoint LLC: %w", err)
+	}
+	for i, a := range cs.apps {
+		app := &ck.Apps[i]
+		if app.Name != a.name {
+			return nil, fmt.Errorf("multiprog: checkpoint app %d is %q, profile order says %q", i, app.Name, a.name)
+		}
+		if err := a.prog.Seek(app.Prog); err != nil {
+			return nil, fmt.Errorf("multiprog: checkpoint app %q: %w", app.Name, err)
+		}
+		if err := a.core.SetState(app.Core); err != nil {
+			return nil, fmt.Errorf("multiprog: checkpoint app %q: %w", app.Name, err)
+		}
+		if err := a.core.Hier.SetState(app.Hier); err != nil {
+			return nil, fmt.Errorf("multiprog: checkpoint app %q: %w", app.Name, err)
+		}
+		a.cycles = app.Cycles
+	}
+	return cs, nil
+}
+
+// StateSnapshot is the engine's canonical deep-state view, used by the
+// bit-exactness tests to compare a forked engine against a straight-through
+// one: the cache/core State encodings are canonical (sorted outstanding
+// misses, flattened MSHR ring), so two engines that behaved identically
+// produce deeply equal snapshots even where their internal table layouts
+// differ.
+type StateSnapshot struct {
+	AlignCycles uint64
+	LLC         cache.CacheState
+	Apps        []AppCheckpoint
+}
+
+// Snapshot captures the canonical deep state of the engine (a Checkpoint
+// minus config and profiles).
+func (cs *CoSim) Snapshot() StateSnapshot {
+	ck := cs.Checkpoint()
+	return StateSnapshot{AlignCycles: ck.AlignCycles, LLC: ck.LLC, Apps: ck.Apps}
+}

@@ -114,6 +114,10 @@ type CoSim struct {
 	batch workload.InstrBatch
 	// warmed is the warm-up phase's per-app instruction-quota scratch.
 	warmed []uint64
+	// alignStart is the common cycle horizon the warm-up/alignment phase
+	// brought every core up to; the measured window runs from here. Set by
+	// WarmAlign (or restored from a checkpoint).
+	alignStart uint64
 }
 
 // NewCoSim builds the co-run engine for the given app mix.
@@ -204,6 +208,17 @@ func (cs *CoSim) runWindow(horizon, q uint64, measure bool) {
 // per-instruction engine, which the cosim tests replay via cpu.Core.Run as
 // the oracle.
 func (cs *CoSim) Run() *CoRunResult {
+	cs.WarmAlign()
+	return cs.RunMeasured()
+}
+
+// WarmAlign executes the unmeasured prefix of a co-run: the interleaved
+// cache warm-up followed by clock alignment. After it returns the engine's
+// entire state is a pure function of (profiles, config) — the natural
+// checkpoint cut: Checkpoint here, then fork any number of measured runs
+// from the captured state instead of re-executing this phase per cell.
+// Call once, before RunMeasured.
+func (cs *CoSim) WarmAlign() {
 	cfg := cs.Cfg
 	q := cfg.quantum()
 
@@ -228,10 +243,18 @@ func (cs *CoSim) Run() *CoRunResult {
 		}
 	}
 	cs.runWindow(start, q, false)
+	cs.alignStart = start
+}
+
+// RunMeasured executes the measured co-run window from the aligned state
+// (produced by WarmAlign on this instance, or restored by
+// NewCoSimFromCheckpoint) and returns the per-app results. Single-shot.
+func (cs *CoSim) RunMeasured() *CoRunResult {
+	cfg := cs.Cfg
 
 	// Measured window: a common cycle horizon, so every app covers the
 	// same wall-clock span at its own (contended) speed.
-	cs.runWindow(start+cfg.MeasureCycles, q, true)
+	cs.runWindow(cs.alignStart+cfg.MeasureCycles, cfg.quantum(), true)
 
 	res := &CoRunResult{LLCPaperBytes: cfg.LLCPaperBytes}
 	var totalMem uint64

@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 
@@ -19,7 +20,7 @@ import (
 
 // Scenarios returns the standard suite in reporting order.
 func Scenarios() []Scenario {
-	return []Scenario{SoloPipeline(), CorunCell(), DSEFanout(), KeyReuse(), StoreRoundTrip()}
+	return []Scenario{SoloPipeline(), CorunCell(), CorunCellForked(), DSEFanout(), KeyReuse(), StoreRoundTrip()}
 }
 
 // Named returns the scenarios matching the given names (nil names = all).
@@ -97,6 +98,52 @@ func CorunCell() Scenario {
 			}
 			return func() uint64 {
 				res := multiprog.SimulateCoRun(profs, cfg)
+				var n uint64
+				for _, a := range res.Apps {
+					n += a.Stats.MemAccesses
+				}
+				return n
+			}, nil
+		},
+	}
+}
+
+// CorunCellForked is CorunCell on the checkpoint/fork path: the warm-up
+// and alignment are paid once in Setup, snapshotted through the real JSON
+// encoding (the store persistence path), and each repetition forks a fresh
+// engine from the decoded checkpoint and runs only the measured window —
+// the amortized per-cell cost figures.CoRunMatrix pays for every cell of
+// a mix after the first. Gated in CI against corun-cell: forking must
+// stay decisively cheaper than warming.
+func CorunCellForked() Scenario {
+	return Scenario{
+		Name: "corun-cell-forked",
+		Desc: "4-core co-run matrix cell forked from a warmed checkpoint",
+		Setup: func(quick bool) (func() uint64, func()) {
+			cfg := multiprog.DefaultCoSimConfig()
+			if quick {
+				cfg.WarmupInstr = 50_000
+				cfg.MeasureCycles = 200_000
+			}
+			profs := []*workload.Profile{
+				workload.Mcf(), workload.Lbm(), workload.Omnetpp(), workload.Xalancbmk(),
+			}
+			cs := multiprog.NewCoSim(profs, cfg)
+			cs.WarmAlign()
+			raw, err := json.Marshal(cs.Checkpoint())
+			if err != nil {
+				panic(err)
+			}
+			var ck multiprog.CoSimCheckpoint
+			if err := json.Unmarshal(raw, &ck); err != nil {
+				panic(err)
+			}
+			return func() uint64 {
+				forked, err := multiprog.NewCoSimFromCheckpoint(&ck)
+				if err != nil {
+					panic(err)
+				}
+				res := forked.RunMeasured()
 				var n uint64
 				for _, a := range res.Apps {
 					n += a.Stats.MemAccesses

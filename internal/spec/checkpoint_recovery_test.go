@@ -1,0 +1,97 @@
+package spec
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/multiprog"
+	"repro/internal/runner"
+	"repro/internal/warm"
+)
+
+// corruptArtifact flips bytes in the middle of the stored artifact file
+// for key, guaranteeing either a JSON parse failure or an envelope hash
+// mismatch — both of which the store must count as Corrupt and treat as a
+// miss.
+func corruptArtifact(t *testing.T, dir, key string) {
+	t.Helper()
+	path := filepath.Join(dir, key[:2], key+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("artifact %s not on disk: %v", key, err)
+	}
+	for i := len(raw) / 2; i < len(raw)/2+8 && i < len(raw); i++ {
+		raw[i] ^= 0xff
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptCheckpointRecomputes is the satellite recovery guarantee for
+// persisted checkpoints: when the content-addressed corun-warm checkpoint
+// (and the cell result that was forked from it) is corrupted on disk, a
+// fresh engine over the same store must detect the damage, recompute the
+// warm-up from scratch, and land on the bit-identical cell result — a bad
+// checkpoint can cost time, never correctness.
+func TestCorruptCheckpointRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := warm.DefaultConfig()
+	apps := []BenchRef{{Name: "mcf"}}
+	cell := CoRunSimParams{Mix: "mcf-solo", Apps: apps, Cfg: cfg}
+	warmSpec := MustNew(CoRunWarmParams{Mix: cell.Mix, Apps: apps, Cfg: cfg})
+
+	run := func() (*multiprog.CoRunResult, uint64) {
+		st, err := OpenStore(dir, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := runner.New(1)
+		eng.Store = st
+		v, err := eng.RunSpec(MustNew(cell))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.(*multiprog.CoRunResult), st.Stats().Corrupt
+	}
+
+	want, corrupt := run()
+	if corrupt != 0 {
+		t.Fatalf("clean first run reported %d corrupt artifacts", corrupt)
+	}
+
+	// Damage both the checkpoint and the cell artifact derived from it, so
+	// the second engine is forced back through the full warm-up.
+	cellKey := MustNew(cell).Key()
+	corruptArtifact(t, dir, warmSpec.Key())
+	corruptArtifact(t, dir, cellKey)
+
+	got, corrupt := run()
+	if corrupt != 2 {
+		t.Errorf("corrupt count = %d, want 2 (checkpoint + cell)", corrupt)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("recomputed-after-corruption result diverged:\n got  %+v\n want %+v", got, want)
+	}
+
+	// The recompute must have re-persisted both artifacts: a third engine
+	// serves the cell straight from the store.
+	st, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := runner.New(1)
+	eng.Store = st
+	v, err := eng.RunSpec(MustNew(cell))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := st.Stats(); s.Hits != 1 || s.Corrupt != 0 {
+		t.Errorf("after recovery: hits=%d corrupt=%d, want 1 store hit and no corruption", s.Hits, s.Corrupt)
+	}
+	if !reflect.DeepEqual(v.(*multiprog.CoRunResult), want) {
+		t.Error("store-served result after recovery diverged")
+	}
+}

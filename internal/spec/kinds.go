@@ -1,7 +1,7 @@
 package spec
 
 // The registered experiment kinds. Every evaluation the repository can
-// produce is one of these five, parameterized:
+// produce is one of these six, parameterized:
 //
 //   sampling        one benchmark under one methodology (SMARTS, CoolSim,
 //                   DeLorean) at one configuration — the unit of the
@@ -17,7 +17,14 @@ package spec
 //   corun-calibrate the per-(app, LLC size) calibration completion; runs
 //                   the app's corun-profile as a nested spec so the
 //                   expensive profile is shared across sizes;
-//   corun-sim       one simulated shared-LLC co-run matrix cell.
+//   corun-warm      the warmed+aligned co-run engine state of one mix — a
+//                   content-addressed checkpoint keyed by (mix, warm
+//                   point) that corun-sim cells fork instead of
+//                   re-executing the warm-up;
+//   corun-sim       one simulated shared-LLC co-run matrix cell; nests its
+//                   mix's corun-warm checkpoint and forks the measured
+//                   window from it (bit-identical to the straight path,
+//                   which the Straight hint preserves as the oracle).
 
 import (
 	"encoding/json"
@@ -39,6 +46,7 @@ const (
 	KindDSESweep       = "dse-sweep"
 	KindCoRunProfile   = "corun-profile"
 	KindCoRunCalibrate = "corun-calibrate"
+	KindCoRunWarm      = "corun-warm"
 	KindCoRunSim       = "corun-sim"
 )
 
@@ -217,12 +225,50 @@ func runCoRunCalibrate(p Params, sub runner.Sub) (any, error) {
 	return v.(multiprog.SoloProfile).Calibrate(cs), nil
 }
 
-// CoRunSimParams simulates one shared-LLC co-run matrix cell: the named
-// mix of apps on private-L1 cores sharing an LLC of Cfg.LLCPaperBytes.
-type CoRunSimParams struct {
-	Mix  string      `json:"mix"` // display name of the scenario
+// CoRunWarmParams produces the warmed+aligned co-run engine state for one
+// mix: a *multiprog.CoSimCheckpoint. Its identity is the warm point — mix,
+// apps, machine config — and nothing else: the measured-window horizon
+// lives in CoSimConfig, not warm.Config, so every measured variant of a
+// cell shares one checkpoint by construction.
+type CoRunWarmParams struct {
+	Mix  string      `json:"mix"`
 	Apps []BenchRef  `json:"apps"`
 	Cfg  warm.Config `json:"cfg"`
+}
+
+func (CoRunWarmParams) Kind() string { return KindCoRunWarm }
+
+func (p CoRunWarmParams) Identity() (bench, method, extra string) {
+	return p.Mix, "corun-warm", strconv.FormatUint(p.Cfg.LLCPaperBytes, 10)
+}
+
+func (p CoRunWarmParams) benchRefs() []BenchRef { return append([]BenchRef(nil), p.Apps...) }
+
+func runCoRunWarm(p Params, _ runner.Sub) (any, error) {
+	sp := p.(CoRunWarmParams)
+	profs, err := resolveAll(sp.Apps)
+	if err != nil {
+		return nil, err
+	}
+	cs := multiprog.NewCoSim(profs, multiprog.CoSimFromWarm(sp.Cfg, sp.Cfg.LLCPaperBytes))
+	cs.WarmAlign()
+	return cs.Checkpoint(), nil
+}
+
+// CoRunSimParams simulates one shared-LLC co-run matrix cell: the named
+// mix of apps on private-L1 cores sharing an LLC of Cfg.LLCPaperBytes.
+//
+// Straight is an execution-path hint, not identity (like
+// DSESweepParams.Workers): when set, the cell runs straight through
+// instead of forking its mix's corun-warm checkpoint. Both paths are
+// bit-identical (TestForkedRunMatchesStraight), so they rightly share a
+// key and an artifact; the straight path survives as the oracle and as
+// the fallback for store-less ad-hoc runs.
+type CoRunSimParams struct {
+	Mix      string      `json:"mix"` // display name of the scenario
+	Apps     []BenchRef  `json:"apps"`
+	Cfg      warm.Config `json:"cfg"`
+	Straight bool        `json:"-"`
 }
 
 func (CoRunSimParams) Kind() string { return KindCoRunSim }
@@ -233,14 +279,38 @@ func (p CoRunSimParams) Identity() (bench, method, extra string) {
 
 func (p CoRunSimParams) benchRefs() []BenchRef { return append([]BenchRef(nil), p.Apps...) }
 
-func runCoRunSim(p Params, _ runner.Sub) (any, error) {
+func runCoRunSim(p Params, sub runner.Sub) (any, error) {
 	sp := p.(CoRunSimParams)
-	profs, err := resolveAll(sp.Apps)
+	cfg := multiprog.CoSimFromWarm(sp.Cfg, sp.Cfg.LLCPaperBytes)
+	if sp.Straight {
+		profs, err := resolveAll(sp.Apps)
+		if err != nil {
+			return nil, err
+		}
+		return multiprog.SimulateCoRun(profs, cfg), nil
+	}
+	// Forked path: the warm-up runs (or is served from cache/store) as a
+	// nested corun-warm spec, then this cell forks its measured window from
+	// the checkpoint. Repeated cells of one mix — different measured
+	// variants, re-runs against a persistent store — pay the warm-up once.
+	wsp, err := New(CoRunWarmParams{Mix: sp.Mix, Apps: sp.Apps, Cfg: sp.Cfg})
 	if err != nil {
 		return nil, err
 	}
-	cs := multiprog.CoSimFromWarm(sp.Cfg, sp.Cfg.LLCPaperBytes)
-	return multiprog.SimulateCoRun(profs, cs), nil
+	v, err := sub.RunSpec(wsp)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := multiprog.NewCoSimFromCheckpoint(v.(*multiprog.CoSimCheckpoint))
+	if err != nil {
+		return nil, err
+	}
+	// The checkpoint pins the warmed state; the measured horizon belongs to
+	// this cell (today they always agree — both derive from the same
+	// warm.Config — but the checkpoint's key is the warm point, so the
+	// horizon must come from the consumer).
+	cs.Cfg.MeasureCycles = cfg.MeasureCycles
+	return cs.RunMeasured(), nil
 }
 
 func resolveAll(refs []BenchRef) ([]*workload.Profile, error) {
@@ -331,6 +401,25 @@ func init() {
 		},
 		Run:   runCoRunCalibrate,
 		Codec: jsonCodec[multiprog.SoloCalibration](1),
+	})
+	register(KindInfo{
+		Name:  KindCoRunWarm,
+		About: "warmed+aligned co-run engine checkpoint for one mix (forked by corun-sim cells)",
+		New:   func() any { return new(CoRunWarmParams) },
+		Validate: func(p Params) error {
+			sp := p.(CoRunWarmParams)
+			if len(sp.Apps) == 0 {
+				return fmt.Errorf("empty app mix")
+			}
+			for _, a := range sp.Apps {
+				if err := a.validate(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Run:   runCoRunWarm,
+		Codec: jsonCodec[*multiprog.CoSimCheckpoint](1),
 	})
 	register(KindInfo{
 		Name:  KindCoRunSim,

@@ -20,6 +20,16 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State returns the generator's internal state for checkpointing. A
+// generator restored with SetState(State()) produces the identical
+// sequence from that point on.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state previously obtained from State. Unlike NewRNG
+// it performs no zero-remapping: the value is the exact internal state,
+// not a seed.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next value (splitmix64).
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -1,0 +1,62 @@
+package vm
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestWatchpointsStateRoundTrip: a populated watchpoint set (including
+// churn — lines watched then unwatched, pages emptied entirely) must
+// survive encode → JSON → decode → restore deep-equal, both in canonical
+// state and in observable behavior.
+func TestWatchpointsStateRoundTrip(t *testing.T) {
+	w := NewWatchpoints()
+	rng := rand.New(rand.NewSource(42))
+	lines := make([]mem.Line, 3000)
+	for i := range lines {
+		lines[i] = mem.Line(rng.Uint64() % 100_000)
+		w.Watch(lines[i])
+	}
+	for i := 0; i < len(lines); i += 3 {
+		w.Unwatch(lines[i])
+	}
+
+	want := w.State()
+	b, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded WatchpointsState
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewWatchpoints()
+	fresh.SetState(decoded)
+
+	if got := fresh.State(); !reflect.DeepEqual(got, want) {
+		t.Error("round-tripped watchpoint state diverged")
+	}
+	if fresh.Count() != w.Count() {
+		t.Errorf("restored count = %d, want %d", fresh.Count(), w.Count())
+	}
+	for _, l := range lines {
+		if fresh.WatchedLine(l) != w.WatchedLine(l) {
+			t.Fatalf("line %d: restored watch state diverged", l)
+		}
+		if p := mem.PageOfLine(l); fresh.WatchedPage(p) != w.WatchedPage(p) {
+			t.Fatalf("page of line %d: restored watch state diverged", l)
+		}
+	}
+
+	// Restore over a non-empty set replaces it outright.
+	dirty := NewWatchpoints()
+	dirty.Watch(mem.Line(7))
+	dirty.SetState(decoded)
+	if got := dirty.State(); !reflect.DeepEqual(got, want) {
+		t.Error("restore over a dirty set did not replace it")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/stats"
 	"repro/internal/vm"
+	"repro/internal/workload"
 )
 
 // Config is the sampled-simulation setup (paper §5): 10 detailed regions of
@@ -251,4 +252,19 @@ func EvalRegion(cfg Config, eng *vm.Engine, core *cpu.Core, oracle cache.Oracle)
 		Stats:     st,
 		LLCMisses: hier.LLCMissCount - llcBefore,
 	}
+}
+
+// EvalRegionAt is EvalRegion for an engine that has not yet reached the
+// region: it first seeks the engine to the captured warm-start position —
+// charging the skipped span to the VFF ledger exactly as FastForwardTo
+// would, so ledger-derived figures cannot move — then runs the standard
+// evaluation. The position is produced once by a tracker program and
+// shared by all per-size analysts of a DSE fan-out: K sizes pay the gap's
+// address-generation work once instead of K times (the checkpoint/fork
+// discipline applied to the DSE inner loop).
+func EvalRegionAt(cfg Config, eng *vm.Engine, at workload.Position, core *cpu.Core, oracle cache.Oracle) (RegionResult, error) {
+	if err := eng.SeekTo(at); err != nil {
+		return RegionResult{}, err
+	}
+	return EvalRegion(cfg, eng, core, oracle), nil
 }
