@@ -8,17 +8,22 @@
 // Usage:
 //
 //	labd [-addr :8080] [-store DIR] [-store-max-mb N] [-workers N]
+//	     [-max-queue N] [-job-ttl D] [-max-jobs N]
 //
 // API:
 //
-//	POST /v1/specs            submit a spec {"kind": ..., "params": {...}}
-//	GET  /v1/jobs/{key}       job status
-//	GET  /v1/jobs/{key}/wait  block until the job finishes
-//	GET  /v1/events[?key=K]   NDJSON stream of experiment completions
-//	GET  /v1/artifacts/{key}  the result payload (JSON)
-//	GET  /v1/kinds            registered experiment kinds
-//	GET  /v1/status           engine and store statistics
-//	GET  /healthz             liveness
+//	POST   /v1/specs            submit a spec {"kind": ..., "params": {...}}
+//	                            (429 + Retry-After when the queue is full)
+//	GET    /v1/jobs/{key}       job status
+//	DELETE /v1/jobs/{key}       cancel a queued or running job
+//	GET    /v1/jobs/{key}/wait  block until the job finishes; disconnecting
+//	                            the last waiter cancels the job
+//	GET    /v1/events[?key=K]   NDJSON stream of experiment completions
+//	GET    /v1/artifacts/{key}  the result payload (JSON)
+//	GET    /v1/kinds            registered experiment kinds
+//	GET    /v1/status           engine and store statistics
+//	GET    /metrics             Prometheus text exposition
+//	GET    /healthz             liveness
 //
 // Example:
 //
@@ -54,6 +59,9 @@ func main() {
 		storeDir = flag.String("store", "", "artifact store directory (empty = in-memory cache only)")
 		storeMax = flag.Int64("store-max-mb", 0, "artifact store size budget in MiB (0 = unbounded)")
 		workers  = flag.Int("workers", 0, "experiment worker pool size (0 = GOMAXPROCS)")
+		maxQueue = flag.Int("max-queue", 0, "queued-job bound before 429 (0 = default 256, negative = unbounded)")
+		jobTTL   = flag.Duration("job-ttl", 0, "how long finished jobs stay in the ledger (0 = default 15m, negative = forever)")
+		maxJobs  = flag.Int("max-jobs", 0, "job ledger cap (0 = default 16384, negative = unbounded)")
 		printCfg = flag.Bool("print-default-cfg", false, "print the default warm.Config as JSON and exit")
 	)
 	flag.Parse()
@@ -70,7 +78,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Addr: *addr, Handler: lab.NewServer(eng, store).Handler()}
+	labSrv := lab.NewServerOpts(eng, store, lab.Options{
+		MaxQueue: *maxQueue, JobTTL: *jobTTL, MaxJobs: *maxJobs,
+	})
+	srv := &http.Server{Addr: *addr, Handler: labSrv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -149,7 +149,17 @@ func Open(dir string, maxBytes int64, codecs map[string]Codec) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].mtim.Before(all[j].mtim) })
+	// Recency recovers from mtimes, which on coarse-grained filesystems
+	// (or artifacts written in the same instant) collide; break ties by
+	// key so the recovered LRU order — and therefore which artifacts a
+	// bounded store evicts first after a restart — is deterministic
+	// instead of directory-iteration order.
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].mtim.Equal(all[j].mtim) {
+			return all[i].mtim.Before(all[j].mtim)
+		}
+		return all[i].key < all[j].key
+	})
 	for _, f := range all {
 		s.tick++
 		f.ent.used = s.tick
@@ -292,7 +302,12 @@ func (s *Store) miss(corrupt bool) {
 // Raw returns the stored payload bytes for key without decoding (integrity
 // still verified), plus the artifact's kind. The lab service serves
 // artifacts through this path — key comes from the client, so the
-// validKey gate here is load-bearing.
+// validKey gate here is load-bearing. Version compatibility is enforced
+// the same way Load enforces it: a payload written by an older codec
+// version must not be handed to clients as current, so a version mismatch
+// reads as corrupt (dropped, recomputed). An envelope whose kind has no
+// registered codec is merely a miss — the artifact may belong to a newer
+// deployment and is left alone.
 func (s *Store) Raw(key string) (payload []byte, kind string, ok bool) {
 	if !validKey(key) {
 		return nil, "", false
@@ -305,6 +320,11 @@ func (s *Store) Raw(key string) (payload []byte, kind string, ok bool) {
 	var env envelope
 	badEnv := json.Unmarshal(raw, &env) != nil ||
 		env.Schema != Schema || env.Key != key || !payloadHashMatches(env.Payload, env.SHA256)
+	codec, hasCodec := s.codecs[env.Kind]
+	if !badEnv && !hasCodec {
+		return nil, "", false
+	}
+	badEnv = badEnv || env.CodecVersion != codec.Version
 
 	s.mu.Lock()
 	if badEnv {

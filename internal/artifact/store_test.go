@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/artifact"
 )
@@ -140,6 +141,102 @@ func TestCodecVersionGate(t *testing.T) {
 	st2, _ := artifact.Open(dir, 0, c2)
 	if _, ok := st2.Load("test", key("aa")); ok {
 		t.Error("version-mismatched artifact served")
+	}
+}
+
+// TestRawCodecVersionGate: Raw serves only payloads written by the
+// currently registered codec version. The regression this pins: Raw used
+// to skip the version check, so after a codec bump labd's
+// /v1/artifacts/{key} handed out stale-format payloads that Load would
+// have refused to decode.
+func TestRawCodecVersionGate(t *testing.T) {
+	dir := t.TempDir()
+	st1, _ := artifact.Open(dir, 0, codecs())
+	st1.Save("test", key("aa"), payload{Name: "v1"})
+	if _, kind, ok := st1.Raw(key("aa")); !ok || kind != "test" {
+		t.Fatalf("current-version Raw miss: kind=%q ok=%v", kind, ok)
+	}
+
+	c2 := codecs()
+	c := c2["test"]
+	c.Version = 2
+	c2["test"] = c
+	st2, _ := artifact.Open(dir, 0, c2)
+	if _, _, ok := st2.Raw(key("aa")); ok {
+		t.Error("version-mismatched payload served by Raw")
+	}
+	if got := st2.Stats().Corrupt; got != 1 {
+		t.Errorf("corrupt count = %d, want 1", got)
+	}
+	// The stale artifact is dropped, so a fresh Save under the new version
+	// serves again.
+	st2.Save("test", key("aa"), payload{Name: "v2"})
+	raw, _, ok := st2.Raw(key("aa"))
+	if !ok || !strings.Contains(string(raw), `"v2"`) {
+		t.Errorf("post-recompute Raw = %q ok=%v", raw, ok)
+	}
+}
+
+// TestRawUnknownKindIsMiss: an envelope whose kind has no registered
+// codec is a plain miss — possibly another deployment's artifact — and is
+// neither counted corrupt nor deleted.
+func TestRawUnknownKindIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	st1, _ := artifact.Open(dir, 0, codecs())
+	st1.Save("test", key("aa"), payload{Name: "x"})
+
+	st2, _ := artifact.Open(dir, 0, map[string]artifact.Codec{})
+	if _, _, ok := st2.Raw(key("aa")); ok {
+		t.Error("unknown-kind payload served by Raw")
+	}
+	if got := st2.Stats().Corrupt; got != 0 {
+		t.Errorf("unknown kind counted corrupt: %d", got)
+	}
+	// The artifact survives for a store that does know the kind.
+	st3, _ := artifact.Open(dir, 0, codecs())
+	if _, _, ok := st3.Raw(key("aa")); !ok {
+		t.Error("unknown-kind miss deleted the artifact")
+	}
+}
+
+// TestReopenEvictionOrderDeterministic: when every artifact carries the
+// same mtime (coarse filesystem timestamps), the recovered LRU order must
+// not depend on directory-iteration order — ties break by key, so two
+// restarts of a bounded store evict the same artifacts.
+func TestReopenEvictionOrderDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	pad := strings.Repeat("x", 4096)
+	st1, _ := artifact.Open(dir, 0, codecs())
+	keys := []string{key("ee"), key("aa"), key("cc"), key("bb"), key("dd")}
+	for _, k := range keys {
+		st1.Save("test", k, payload{Name: k[:2], Pad: pad})
+	}
+	// Flatten recency: give every artifact the identical mtime.
+	when := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			os.Chtimes(p, when, when)
+		}
+		return nil
+	})
+
+	// Re-open with a budget that forces evicting two artifacts: with all
+	// mtimes equal, the key tie-break makes aa and bb the victims.
+	perArtifact := st1.Stats().Bytes / int64(len(keys))
+	st2, err := artifact.Open(dir, perArtifact*3+perArtifact/2, codecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Save("test", key("ff"), payload{Name: "ff", Pad: pad})
+	for _, k := range []string{key("aa"), key("bb"), key("cc")} {
+		if _, ok := st2.Load("test", k); ok {
+			t.Errorf("artifact %s survived; want lowest keys evicted first on mtime ties", k[:2])
+		}
+	}
+	for _, k := range []string{key("ee"), key("ff")} {
+		if _, ok := st2.Load("test", k); !ok {
+			t.Errorf("artifact %s evicted; want highest keys kept on mtime ties", k[:2])
+		}
 	}
 }
 

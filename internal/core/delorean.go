@@ -124,6 +124,9 @@ func New(prof *workload.Profile, cfg warm.Config) *DeLorean {
 // order and returns the aggregated result.
 func (d *DeLorean) RunSequential() *Result {
 	for m := 0; m < d.Cfg.Regions; m++ {
+		if d.Cfg.Cancelled() {
+			break // partial; the caller discards it via its context error
+		}
 		msg := d.ScoutRegion(m)
 		for k := range d.explorers {
 			d.ExploreRegion(k, msg)

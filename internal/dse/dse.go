@@ -111,6 +111,9 @@ func RunParallel(prof *workload.Profile, cfg warm.Config, llcPaperSizes []uint64
 	tracker := prof.NewProgram(cfg.Scale)
 	var engagedSum int
 	for m := 0; m < cfg.Regions; m++ {
+		if cfg.Cancelled() {
+			break // partial; the caller discards it via its context error
+		}
 		rd := d.ScoutRegion(m)
 		for k := 0; k < len(cfg.ExplorerWindows); k++ {
 			d.ExploreRegion(k, rd)

@@ -7,13 +7,25 @@
 // the persistent artifact store — executes it on the shared worker pool,
 // streams per-job progress, and serves the resulting artifact.
 //
+// The service is built to stay up under real load (DESIGN.md §11):
+// submissions pass admission control (a bounded queue answers 429 +
+// Retry-After instead of accepting unbounded work), queued and running
+// jobs are cancellable (DELETE /v1/jobs/{key}, or automatically when the
+// last /wait client disconnects), failed and cancelled jobs re-arm on
+// resubmit instead of serving a stale error forever, the job ledger is
+// TTL-pruned so a long-running daemon's memory stays bounded, and
+// /metrics exposes the whole pipeline's counters and latency histograms
+// in Prometheus text format.
+//
 // The same package provides the thin-CLI wiring (NewEngine,
 // ProgressPrinter) so all five command-line fronts and the service drive
 // experiments through one identical pipeline.
 package lab
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -60,11 +72,23 @@ func ProgressPrinter(w io.Writer) func(runner.Progress) {
 
 // JobState values.
 const (
-	StateQueued  = "queued"
-	StateRunning = "running"
-	StateDone    = "done"
-	StateFailed  = "failed"
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
 )
+
+// jobStates lists every state, in lifecycle order, for the per-state
+// gauges on /metrics and /v1/status.
+var jobStates = []string{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled}
+
+// terminal reports whether a state is final. Terminal jobs hold no worker
+// slot, are TTL-pruned from the ledger, and — for failed and cancelled
+// ones — re-arm on resubmit.
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
 
 // JobStatus is the wire form of one submitted spec's lifecycle.
 type JobStatus struct {
@@ -88,31 +112,108 @@ type job struct {
 	err       string
 	val       any
 	started   time.Time
+	finished  time.Time
 	elapsed   time.Duration
 	done      chan struct{}
+	// ctx/cancel bound the execution: DELETE /v1/jobs/{key} (or the last
+	// waiter disconnecting) cancels, and the runner plus the engines'
+	// region/quantum Cancel hooks observe it cooperatively.
+	ctx    context.Context
+	cancel context.CancelFunc
+	// waiters counts the /wait clients currently attached; when the last
+	// one disconnects before the job finishes, nobody is left to consume
+	// the result and the job is aborted.
+	waiters int
 }
 
-// Server is the lab service. Construct with NewServer; it owns the
-// engine's OnProgress hook (events fan out to /v1/events subscribers and
-// drive per-job cache attribution).
+// arm (re)initializes the job's execution state: fresh done channel,
+// fresh cancellation scope, back to the queue. Used at creation and when
+// a failed or cancelled job is resubmitted.
+func (j *job) arm() {
+	j.state = StateQueued
+	j.cached, j.fromStore = false, false
+	j.err = ""
+	j.val = nil
+	j.started, j.finished = time.Time{}, time.Time{}
+	j.elapsed = 0
+	j.done = make(chan struct{})
+	j.ctx, j.cancel = context.WithCancel(context.Background())
+}
+
+// Options tune the service's production behaviour. The zero value means
+// defaults (see withDefaults); explicit negatives disable a bound.
+type Options struct {
+	// MaxQueue bounds jobs in StateQueued: a submission that would exceed
+	// it is refused with 429 and a Retry-After hint. 0: default 256;
+	// negative: unbounded.
+	MaxQueue int
+	// RetryAfter is the hint sent with 429 responses. 0: default 1s.
+	RetryAfter time.Duration
+	// JobTTL is how long terminal jobs stay in the ledger; pruning is
+	// opportunistic (on submit/status/metrics). 0: default 15m; negative:
+	// keep forever.
+	JobTTL time.Duration
+	// MaxJobs caps the whole ledger. When exceeded, the oldest-finished
+	// terminal jobs are evicted early (before their TTL); if the ledger is
+	// all queued/running work, submissions are refused with 429. 0:
+	// default 16384; negative: unbounded.
+	MaxJobs int
+	// MaxBody bounds one submission request's body; larger bodies are
+	// refused with 413. 0: default 16 MiB.
+	MaxBody int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxQueue == 0 {
+		o.MaxQueue = 256
+	}
+	if o.RetryAfter == 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.JobTTL == 0 {
+		o.JobTTL = 15 * time.Minute
+	}
+	if o.MaxJobs == 0 {
+		o.MaxJobs = 16384
+	}
+	if o.MaxBody == 0 {
+		o.MaxBody = 16 << 20
+	}
+	return o
+}
+
+// Server is the lab service. Construct with NewServer (defaults) or
+// NewServerOpts; it owns the engine's OnProgress hook (events fan out to
+// /v1/events subscribers and drive per-job cache attribution).
 type Server struct {
 	eng   *runner.Engine
 	store *artifact.Store
+	opts  Options
 	// sem bounds concurrently executing submissions to the engine's
 	// worker budget: RunSpec executes on the caller's goroutine, so
 	// without this gate N clients would mean N concurrent experiments
 	// regardless of -workers. Jobs stay "queued" while waiting.
 	sem chan struct{}
 
-	mu   sync.Mutex
-	jobs map[string]*job
-	subs map[chan runner.Progress]bool
+	mets serviceMetrics
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	queued    int // jobs in StateQueued (admission-control gauge)
+	lastPrune time.Time
+	subs      map[chan runner.Progress]bool
 }
 
-// NewServer wires a lab service over an engine (and its optional store,
-// which may be nil — artifacts are then served from memory only).
+// NewServer wires a lab service with default Options over an engine (and
+// its optional store, which may be nil — artifacts are then served from
+// memory only).
 func NewServer(eng *runner.Engine, store *artifact.Store) *Server {
-	s := &Server{eng: eng, store: store,
+	return NewServerOpts(eng, store, Options{})
+}
+
+// NewServerOpts is NewServer with explicit production options.
+func NewServerOpts(eng *runner.Engine, store *artifact.Store, opts Options) *Server {
+	s := &Server{eng: eng, store: store, opts: opts.withDefaults(),
 		sem:  make(chan struct{}, runner.PoolSize(eng.Workers)),
 		jobs: make(map[string]*job), subs: make(map[chan runner.Progress]bool)}
 	eng.OnProgress = s.onProgress
@@ -141,11 +242,13 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/specs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{key}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{key}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{key}/wait", s.handleWait)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/artifacts/{key}", s.handleArtifact)
 	mux.HandleFunc("GET /v1/kinds", s.handleKinds)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -157,10 +260,10 @@ func (s *Server) status(j *job) JobStatus {
 	st := JobStatus{Key: j.spec.Key(), Kind: j.spec.Kind(),
 		Bench: bench, Method: method, Extra: extra,
 		State: j.state, Cached: j.cached, FromStore: j.fromStore, Error: j.err}
-	switch j.state {
-	case StateRunning:
+	switch {
+	case j.state == StateRunning:
 		st.ElapsedMS = time.Since(j.started).Milliseconds()
-	case StateDone, StateFailed:
+	case terminal(j.state):
 		st.ElapsedMS = j.elapsed.Milliseconds()
 	}
 	return st
@@ -178,13 +281,67 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// pruneLocked bounds the job ledger: terminal jobs past their TTL are
+// dropped, and when the ledger exceeds MaxJobs the oldest-finished
+// terminal jobs are evicted early. Queued and running jobs are never
+// pruned. The TTL sweep is O(jobs), so it is throttled to at most once
+// per TTL/4; the overflow eviction runs whenever needed.
+func (s *Server) pruneLocked(now time.Time) {
+	ttl := s.opts.JobTTL
+	if ttl > 0 && now.Sub(s.lastPrune) >= ttl/4 {
+		s.lastPrune = now
+		for k, j := range s.jobs {
+			if terminal(j.state) && !j.finished.IsZero() && now.Sub(j.finished) > ttl {
+				delete(s.jobs, k)
+			}
+		}
+	}
+	if max := s.opts.MaxJobs; max > 0 && len(s.jobs) > max {
+		s.evictTerminalLocked(len(s.jobs) - max)
+	}
+}
+
+// evictTerminalLocked drops up to n terminal jobs, oldest-finished first.
+// Queued and running jobs are never evicted; if fewer than n terminal
+// jobs exist the ledger stays over bound (admission control then refuses
+// new work).
+func (s *Server) evictTerminalLocked(n int) {
+	for ; n > 0; n-- {
+		victim := ""
+		var oldest time.Time
+		for k, j := range s.jobs {
+			if !terminal(j.state) {
+				continue
+			}
+			if victim == "" || j.finished.Before(oldest) {
+				victim, oldest = k, j.finished
+			}
+		}
+		if victim == "" {
+			return
+		}
+		delete(s.jobs, victim)
+	}
+}
+
 // handleSubmit accepts a spec, deduplicates it by key, and starts it if
 // new. A repeated POST of a finished spec reports state "done" with
 // cached=true — the acceptance check for "labd serves the same spec from
-// cache on a repeated request".
+// cache on a repeated request". A failed or cancelled job re-arms: the
+// resubmit queues a fresh execution instead of serving the stale error.
+// Admission control: when the queue (or the ledger) is full the
+// submission is refused with 429 and a Retry-After hint.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	start := time.Now()
+	defer func() { s.mets.submitLat.Observe(time.Since(start).Seconds()) }()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "spec body exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
@@ -193,9 +350,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.mets.submits.Add(1)
 
 	s.mu.Lock()
+	s.pruneLocked(start)
 	if j, ok := s.jobs[sp.Key()]; ok {
+		if j.state == StateFailed || j.state == StateCancelled {
+			// Re-arm: the recorded failure may be transient (and the
+			// engine never caches errors), so a resubmit retries instead
+			// of serving the stale error until restart. Only the queue
+			// bound applies — the job is already a ledger entry.
+			if !s.admitLocked(w, false) {
+				s.mu.Unlock()
+				return
+			}
+			j.arm()
+			s.queued++
+			st := s.status(j)
+			s.mu.Unlock()
+			go s.run(j)
+			writeJSON(w, http.StatusAccepted, st)
+			return
+		}
 		st := s.status(j)
 		if j.state == StateDone {
 			st.Cached = true
@@ -204,27 +380,66 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, st)
 		return
 	}
-	j := &job{spec: sp, state: StateQueued, done: make(chan struct{})}
+	if !s.admitLocked(w, true) {
+		s.mu.Unlock()
+		return
+	}
+	j := &job{spec: sp}
+	j.arm()
 	s.jobs[sp.Key()] = j
+	s.queued++
+	st := s.status(j)
 	s.mu.Unlock()
 
 	go s.run(j)
-	s.mu.Lock()
-	st := s.status(j)
-	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, st)
 }
 
+// admitLocked applies admission control for one queue entry; on refusal
+// it writes the 429 itself and returns false. newJob distinguishes a
+// fresh submission (needs a ledger slot too) from a re-armed one (already
+// a ledger entry, so only the queue bound applies — and the ledger check
+// must not evict the very job being re-armed).
+func (s *Server) admitLocked(w http.ResponseWriter, newJob bool) bool {
+	retry := func(format string, args ...any) bool {
+		s.mets.rejected.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.opts.RetryAfter.Seconds())))
+		writeError(w, http.StatusTooManyRequests, format, args...)
+		return false
+	}
+	if max := s.opts.MaxQueue; max > 0 && s.queued >= max {
+		return retry("queue full (%d queued); retry later", s.queued)
+	}
+	if max := s.opts.MaxJobs; newJob && max > 0 && len(s.jobs) >= max {
+		// Make room by dropping finished history before refusing: only a
+		// ledger full of live (queued/running) work is a real overload.
+		s.evictTerminalLocked(len(s.jobs) - max + 1)
+		if len(s.jobs) >= max {
+			return retry("job ledger full (%d live jobs); retry later", len(s.jobs))
+		}
+	}
+	return true
+}
+
 func (s *Server) run(j *job) {
-	s.sem <- struct{}{}
+	// Queued phase: wait for a worker slot, but leave immediately if the
+	// job is cancelled first — cancellation must abort queued work without
+	// consuming a slot.
+	select {
+	case s.sem <- struct{}{}:
+	case <-j.ctx.Done():
+		s.finish(j, nil, j.ctx.Err())
+		return
+	}
 	defer func() { <-s.sem }()
 
 	s.mu.Lock()
+	s.queued--
 	j.state = StateRunning
 	j.started = time.Now()
 	s.mu.Unlock()
 
-	val, err := s.eng.RunSpec(j.spec)
+	val, err := s.eng.RunSpecCtx(j.ctx, j.spec)
 
 	// Once the artifact is safely persisted, the in-memory copy is
 	// redundant (handleArtifact prefers the store) — drop it so a
@@ -234,18 +449,41 @@ func (s *Server) run(j *job) {
 			val = nil
 		}
 	}
+	s.finish(j, val, err)
+}
 
+// finish moves a job to its terminal state and wakes the waiters.
+func (s *Server) finish(j *job, val any, err error) {
 	s.mu.Lock()
-	j.elapsed = time.Since(j.started)
+	now := time.Now()
+	if j.state == StateQueued {
+		s.queued--
+	} else {
+		j.elapsed = now.Sub(j.started)
+	}
+	j.finished = now
 	j.val = val
-	if err != nil {
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case j.ctx.Err() != nil:
+		// The job's own context was cancelled (DELETE or abandoned wait):
+		// report "cancelled", not a failure — the distinction matters for
+		// operators and for the resubmit path's semantics.
+		j.state = StateCancelled
+		j.err = err.Error()
+	default:
 		j.state = StateFailed
 		j.err = err.Error()
-	} else {
-		j.state = StateDone
 	}
+	// Capture this incarnation's channel and cancel under the lock: once
+	// the state is terminal a racing resubmit may re-arm the job and
+	// replace both, and cancelling the new incarnation's context would
+	// abort the re-run.
+	done, cancel := j.done, j.cancel
 	s.mu.Unlock()
-	close(j.done)
+	cancel() // release the context's resources; no-op if already cancelled
+	close(done)
 }
 
 func (s *Server) lookup(r *http.Request) (*job, bool) {
@@ -267,18 +505,77 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// handleWait blocks until the job finishes (or the client goes away).
+// handleCancel aborts a queued or running job: the job's context is
+// cancelled, the runner and the engines' region/quantum hooks observe it
+// cooperatively, and the job lands in state "cancelled" (re-runnable by
+// resubmitting the spec). Cancelling a terminal job is a no-op that
+// reports the current status — the operation is idempotent.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("key"))
+		return
+	}
+	s.mu.Lock()
+	st := s.status(j)
+	cancel := j.cancel
+	isTerminal := terminal(j.state)
+	s.mu.Unlock()
+	if isTerminal {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	s.mets.cancels.Add(1)
+	cancel()
+	// The transition to "cancelled" is asynchronous — the executor unwinds
+	// at its next cooperative check — so answer 202 with the pre-cancel
+	// status; clients poll or /wait for the terminal state.
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleWait blocks until the job finishes. While a client waits it holds
+// a waiter reference on the job; if the last waiter disconnects before
+// the job finishes, nobody is left to consume the result and the job is
+// aborted (equivalent to DELETE). Fire-and-forget submitters that only
+// poll GET /v1/jobs/{key} never attach a waiter and are unaffected.
 func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("key"))
 		return
 	}
-	select {
-	case <-j.done:
-	case <-r.Context().Done():
-		return
+	start := time.Now()
+	s.mu.Lock()
+	waiting := !terminal(j.state)
+	done := j.done
+	if waiting {
+		j.waiters++
 	}
+	s.mu.Unlock()
+
+	if waiting {
+		select {
+		case <-done:
+			s.mu.Lock()
+			j.waiters--
+			s.mu.Unlock()
+		case <-r.Context().Done():
+			s.mu.Lock()
+			j.waiters--
+			// j.done == done guards against a re-armed job: this waiter
+			// belongs to the incarnation it attached to, and must not
+			// cancel a fresh re-run it never waited on.
+			abandoned := j.waiters == 0 && !terminal(j.state) && j.done == done
+			cancel := j.cancel
+			s.mu.Unlock()
+			if abandoned {
+				s.mets.cancels.Add(1)
+				cancel()
+			}
+			return
+		}
+	}
+	s.mets.waitLat.Observe(time.Since(start).Seconds())
 	s.mu.Lock()
 	st := s.status(j)
 	s.mu.Unlock()
@@ -426,19 +723,80 @@ func (s *Server) handleKinds(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// stateCountsLocked tallies the ledger by state.
+func (s *Server) stateCountsLocked() map[string]int {
+	counts := make(map[string]int, len(jobStates))
+	for _, st := range jobStates {
+		counts[st] = 0
+	}
+	for _, j := range s.jobs {
+		counts[j.state]++
+	}
+	return counts
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	hits, misses := s.eng.CacheStats()
 	s.mu.Lock()
+	s.pruneLocked(time.Now())
 	jobs := len(s.jobs)
+	queued := s.queued
+	counts := s.stateCountsLocked()
 	s.mu.Unlock()
 	st := map[string]any{
-		"jobs":       jobs,
-		"cache_hits": hits,
-		"cache_miss": misses,
-		"store_hits": s.eng.StoreHits(),
+		"jobs":          jobs,
+		"jobs_by_state": counts,
+		"queue_depth":   queued,
+		"cache_hits":    hits,
+		"cache_miss":    misses,
+		"store_hits":    s.eng.StoreHits(),
+		"submits":       s.mets.submits.Load(),
+		"rejected":      s.mets.rejected.Load(),
+		"cancels":       s.mets.cancels.Load(),
 	}
 	if s.store != nil {
 		st["store"] = s.store.Stats()
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleMetrics is the hand-rolled Prometheus text exposition: engine
+// cache counters, artifact-store counters, queue and per-state job
+// gauges, admission-control counters, and submit/wait latency
+// histograms. Scrapers poll it; nothing here blocks on experiment work.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	hits, misses := s.eng.CacheStats()
+	storeHits := s.eng.StoreHits()
+	s.mu.Lock()
+	s.pruneLocked(time.Now())
+	queued := s.queued
+	counts := s.stateCountsLocked()
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	promCounter(w, "labd_engine_cache_hits_total", "in-memory result cache hits", hits)
+	promCounter(w, "labd_engine_cache_misses_total", "jobs executed (cache misses)", misses)
+	promCounter(w, "labd_engine_store_hits_total", "jobs served by the persistent artifact store", storeHits)
+	if s.store != nil {
+		st := s.store.Stats()
+		promCounter(w, "labd_store_loads_total", "artifact store load attempts", st.Loads)
+		promCounter(w, "labd_store_load_misses_total", "artifact store load misses", st.LoadMisses)
+		promCounter(w, "labd_store_hits_total", "artifact store loads served from a valid artifact", st.Hits)
+		promCounter(w, "labd_store_saves_total", "artifacts persisted", st.Saves)
+		promCounter(w, "labd_store_evictions_total", "artifacts evicted by the LRU byte budget", st.Evictions)
+		promCounter(w, "labd_store_corrupt_total", "artifact integrity failures", st.Corrupt)
+		promGauge(w, "labd_store_artifacts", "artifacts currently in the store", int64(st.Artifacts))
+		promGauge(w, "labd_store_bytes", "bytes currently in the store", st.Bytes)
+		promGauge(w, "labd_store_max_bytes", "store byte budget (0: unbounded)", st.MaxBytes)
+	}
+	promGauge(w, "labd_queue_depth", "jobs waiting for a worker slot", int64(queued))
+	fmt.Fprintf(w, "# HELP labd_jobs jobs in the ledger by state\n# TYPE labd_jobs gauge\n")
+	for _, state := range jobStates {
+		fmt.Fprintf(w, "labd_jobs{state=%q} %d\n", state, counts[state])
+	}
+	promCounter(w, "labd_submits_total", "specs accepted for decoding on POST /v1/specs", s.mets.submits.Load())
+	promCounter(w, "labd_rejected_total", "submissions refused with 429 (queue or ledger full)", s.mets.rejected.Load())
+	promCounter(w, "labd_cancels_total", "job cancellations (DELETE or abandoned wait)", s.mets.cancels.Load())
+	s.mets.submitLat.writeProm(w, "labd_submit_latency_seconds", "POST /v1/specs handler latency")
+	s.mets.waitLat.writeProm(w, "labd_wait_latency_seconds", "successful /v1/jobs/{key}/wait latency")
 }

@@ -38,7 +38,21 @@ type CoSimConfig struct {
 	Quantum uint64
 	// MaxIters bounds the StatCC fixed point used for predictions.
 	MaxIters int
+
+	// Cancel, when set, is polled between scheduling quanta (every
+	// cancelPollMask+1 quanta, to keep the hot loop free of its cost): a
+	// true return stops the phase early, leaving a partial state the
+	// caller must discard (the spec layer reports its context's error
+	// instead of the partial result). Execution hint only: excluded from
+	// serialization, checkpoints and spec identity (`json:"-"`), nil
+	// everywhere outside a cancellable service job.
+	Cancel func() bool `json:"-"`
 }
+
+// cancelPollMask throttles Cancel polling to every 64th quantum: a
+// quantum is ~200 instructions, so cancellation latency stays far under a
+// millisecond while the per-quantum cost of a nil-or-false poll vanishes.
+const cancelPollMask = 63
 
 // DefaultCoSimConfig mirrors the paper's Table 1 machine at scale 64 with
 // an 8 MiB(-equivalent) shared LLC.
@@ -71,6 +85,9 @@ func (c CoSimConfig) quantum() uint64 {
 	}
 	return c.Quantum
 }
+
+// Cancelled reports whether the run's Cancel hook (if any) asks to stop.
+func (c CoSimConfig) Cancelled() bool { return c.Cancel != nil && c.Cancel() }
 
 // AppSim is one app's measured co-run behaviour.
 type AppSim struct {
@@ -149,7 +166,10 @@ func (cs *CoSim) warmup(perApp, q uint64) {
 	for i := range warmed {
 		warmed[i] = 0
 	}
-	for {
+	for poll := uint64(0); ; poll++ {
+		if poll&cancelPollMask == 0 && cs.Cfg.Cancelled() {
+			return
+		}
 		best := -1
 		for i, a := range cs.apps {
 			if warmed[i] >= perApp {
@@ -183,7 +203,10 @@ func (cs *CoSim) runWindow(horizon, q uint64, measure bool) {
 	if len(cs.apps) == 0 {
 		return
 	}
-	for {
+	for poll := uint64(0); ; poll++ {
+		if poll&cancelPollMask == 0 && cs.Cfg.Cancelled() {
+			return
+		}
 		best := 0
 		for i := 1; i < len(cs.apps); i++ {
 			if cs.apps[i].cycles < cs.apps[best].cycles {
@@ -340,6 +363,9 @@ func ProfileSolo(prof *workload.Profile, cfg CoSimConfig) SoloProfile {
 	const chunk = 8192
 	batch := make(mem.Batch, 0, chunk)
 	for done := uint64(0); done < span; {
+		if cfg.Cancelled() {
+			break // partial; the caller discards it via its context error
+		}
 		n := span - done
 		if n > chunk {
 			n = chunk

@@ -3,11 +3,13 @@ package perf
 import (
 	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"os"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/lab"
 	"repro/internal/mem"
 	"repro/internal/multiprog"
 	"repro/internal/reuse"
@@ -20,7 +22,7 @@ import (
 
 // Scenarios returns the standard suite in reporting order.
 func Scenarios() []Scenario {
-	return []Scenario{SoloPipeline(), CorunCell(), CorunCellForked(), DSEFanout(), KeyReuse(), StoreRoundTrip()}
+	return []Scenario{SoloPipeline(), CorunCell(), CorunCellForked(), DSEFanout(), KeyReuse(), StoreRoundTrip(), LabdLoad()}
 }
 
 // Named returns the scenarios matching the given names (nil names = all).
@@ -246,6 +248,47 @@ func StoreRoundTrip() Scenario {
 				}
 				return uint64(keys)
 			}, func() { _ = os.RemoveAll(dir) }
+		},
+	}
+}
+
+// LabdLoad drives the whole service stack under concurrent load: an
+// in-process labd (engine + artifact store + HTTP server) takes a batch
+// of submissions from the load generator — unique specs, cache-riding
+// duplicates, /wait round-trips — per repetition. The work unit is one
+// request round-trip, so ns/access here means ns per request; the first
+// repetition executes the unique specs, later ones are dominated by the
+// dedup/cache path, which is exactly the steady state of a warm daemon.
+func LabdLoad() Scenario {
+	return Scenario{
+		Name: "labd-load",
+		Desc: "concurrent spec submissions through a live lab service (unit: requests)",
+		Setup: func(quick bool) (func() uint64, func()) {
+			requests, unique, clients := 64, 16, 8
+			if quick {
+				requests, unique, clients = 24, 6, 4
+			}
+			dir, err := os.MkdirTemp("", "delorean-bench-labd-")
+			if err != nil {
+				panic(err)
+			}
+			eng, store, err := lab.NewEngine(0, dir, 0)
+			if err != nil {
+				panic(err)
+			}
+			ts := httptest.NewServer(lab.NewServer(eng, store).Handler())
+			return func() uint64 {
+				rep, err := lab.RunLoad(lab.LoadConfig{
+					BaseURL: ts.URL, Requests: requests, Clients: clients, Unique: unique, Seed: 42,
+				})
+				if err != nil {
+					panic(err)
+				}
+				if rep.Failures > 0 {
+					panic(fmt.Sprintf("labd-load: %d failed requests", rep.Failures))
+				}
+				return uint64(rep.Requests)
+			}, func() { ts.Close(); _ = os.RemoveAll(dir) }
 		},
 	}
 }

@@ -25,6 +25,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -50,9 +51,15 @@ type Spec interface {
 	Run(sub Sub) (any, error)
 }
 
-// Sub lets an executing spec run nested specs on the same engine.
+// Sub lets an executing spec run nested specs on the same engine and
+// exposes the context its own execution is bound to. Executors should
+// check Context() at natural work boundaries (per region, per quantum
+// batch) and abandon the run with Context().Err() when it is cancelled —
+// the engine never caches an errored result, so a cancelled key is
+// immediately re-runnable.
 type Sub interface {
 	RunSpec(s Spec) (any, error)
+	Context() context.Context
 }
 
 // Store is the persistent tier behind the in-memory result cache. Load
@@ -157,7 +164,7 @@ func (e *Engine) RunMatrix(jobs []Job) []any {
 	out := make([]any, len(jobs))
 	done := 0
 	ForEach(len(jobs), e.Workers, func(i int) {
-		v, err := e.runJob(jobs[i].Spec, len(jobs), &done)
+		v, err := e.runJob(context.Background(), jobs[i].Spec, len(jobs), &done)
 		if err != nil {
 			bench, method, _ := jobs[i].Spec.Identity()
 			panic(fmt.Sprintf("runner: job %s/%s (%s): %v", bench, method, jobs[i].Spec.Kind(), err))
@@ -171,23 +178,67 @@ func (e *Engine) RunMatrix(jobs []Job) []any {
 // cache and single-flight path. It is both the Sub implementation handed
 // to executors for nested experiments and the lab service's entry point.
 func (e *Engine) RunSpec(s Spec) (any, error) {
-	done := 0
-	return e.runJob(s, 1, &done)
+	return e.RunSpecCtx(context.Background(), s)
 }
+
+// RunSpecCtx is RunSpec bound to a context: a cancelled ctx aborts the
+// job cooperatively. A queued or waiting caller returns ctx.Err()
+// immediately; an executing spec observes the cancellation through
+// Sub.Context() at its next check point (sub-spec boundary, region or
+// quantum batch) and unwinds with an error. Errored executions — cancelled
+// ones included — are never cached, so the key is re-runnable on the same
+// engine without restart.
+func (e *Engine) RunSpecCtx(ctx context.Context, s Spec) (any, error) {
+	done := 0
+	return e.runJob(ctx, s, 1, &done)
+}
+
+// Context implements Sub for the engine itself (top-level RunMatrix
+// executors): an unbound, never-cancelled context.
+func (e *Engine) Context() context.Context { return context.Background() }
+
+// boundSub is the Sub handed to an executing spec: nested specs run on
+// the same engine bound to the parent job's context, so cancelling a
+// composite job cancels the whole nested tree.
+type boundSub struct {
+	e   *Engine
+	ctx context.Context
+}
+
+func (b boundSub) RunSpec(s Spec) (any, error) {
+	done := 0
+	return b.e.runJob(b.ctx, s, 1, &done)
+}
+
+func (b boundSub) Context() context.Context { return b.ctx }
 
 // runJob executes one spec with single-flight caching: the first caller of
 // a key runs it (consulting the persistent store first), concurrent
 // duplicates block until the result lands.
-func (e *Engine) runJob(s Spec, total int, done *int) (any, error) {
+func (e *Engine) runJob(ctx context.Context, s Spec, total int, done *int) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	key := s.Key()
 	e.mu.Lock()
 	if ent, ok := e.cache[key]; ok {
 		e.hits++
 		e.mu.Unlock()
-		<-ent.done
+		select {
+		case <-ent.done:
+		case <-ctx.Done():
+			// This caller gives up waiting; the executing caller (whose own
+			// context may be independent) keeps running.
+			return nil, ctx.Err()
+		}
+		if ent.err != nil {
+			// The execution this caller rode failed; the entry is already
+			// evicted (see below), so the caller may simply retry.
+			return nil, ent.err
+		}
 		e.progress(s, key, total, done, true, ent.fromStore, time.Since(start))
-		return ent.val, ent.err
+		return ent.val, nil
 	}
 	ent := &cacheEntry{done: make(chan struct{})}
 	e.cache[key] = ent
@@ -208,11 +259,25 @@ func (e *Engine) runJob(s Spec, total int, done *int) (any, error) {
 	e.mu.Lock()
 	e.misses++
 	e.mu.Unlock()
-	ent.val, ent.err = s.Run(e)
+	ent.val, ent.err = s.Run(boundSub{e: e, ctx: ctx})
 	if ent.err == nil && e.Store != nil {
 		e.Store.Save(s.Kind(), key, ent.val)
 	}
+	if ent.err != nil {
+		// Never cache a failure: a transient error (or a cancellation)
+		// must not poison the key for the engine's lifetime. Evict before
+		// waking the waiters so no new caller can join the dead entry and
+		// the next lookup re-executes.
+		e.mu.Lock()
+		if e.cache[key] == ent {
+			delete(e.cache, key)
+		}
+		e.mu.Unlock()
+	}
 	close(ent.done)
+	if ent.err != nil {
+		return nil, ent.err
+	}
 	e.progress(s, key, total, done, false, false, time.Since(start))
 	return ent.val, ent.err
 }

@@ -1,8 +1,11 @@
 package runner_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -215,4 +218,157 @@ func TestForEach(t *testing.T) {
 		}
 	}
 	runner.ForEach(0, 4, func(int) { t.Fatal("fn called for n=0") })
+}
+
+// TestErrorNotCached: a flaky executor — fails once, then succeeds — must
+// succeed on the second RunSpec of the same key. The regression this
+// pins: the engine used to leave the errored single-flight entry in the
+// cache, so a transient failure poisoned the key for the engine's whole
+// lifetime (every later caller got the stale error without executing).
+func TestErrorNotCached(t *testing.T) {
+	var execs int32
+	flaky := fnSpec{key: "flaky", exec: func(runner.Sub) (any, error) {
+		if atomic.AddInt32(&execs, 1) == 1 {
+			return nil, errors.New("transient")
+		}
+		return "ok", nil
+	}}
+	eng := runner.New(2)
+	if _, err := eng.RunSpec(flaky); err == nil || err.Error() != "transient" {
+		t.Fatalf("first run: err = %v, want transient", err)
+	}
+	v, err := eng.RunSpec(flaky)
+	if err != nil {
+		t.Fatalf("second run after transient failure: %v", err)
+	}
+	if v != "ok" {
+		t.Fatalf("second run = %v, want ok", v)
+	}
+	if n := atomic.LoadInt32(&execs); n != 2 {
+		t.Errorf("executed %d times, want 2 (fail, then retry)", n)
+	}
+}
+
+// TestErrorSharedBySingleFlightWaiters: callers that rode a failing
+// execution all observe the error, and the key is immediately re-runnable.
+func TestErrorSharedBySingleFlightWaiters(t *testing.T) {
+	var execs int32
+	release := make(chan struct{})
+	sp := fnSpec{key: "shared-err", exec: func(runner.Sub) (any, error) {
+		atomic.AddInt32(&execs, 1)
+		<-release
+		return nil, errors.New("boom")
+	}}
+	eng := runner.New(4)
+	const waiters = 4
+	errs := make([]error, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = eng.RunSpec(sp)
+		}(i)
+	}
+	// Let every caller reach the cache (one executes, the rest wait).
+	for {
+		if hits, _ := eng.CacheStats(); hits == waiters-1 {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || err.Error() != "boom" {
+			t.Errorf("waiter %d: err = %v, want boom", i, err)
+		}
+	}
+	if n := atomic.LoadInt32(&execs); n != 1 {
+		t.Fatalf("failing job executed %d times, want 1", n)
+	}
+	// The failed entry must be evicted: a retry executes again.
+	okSpec := fnSpec{key: "shared-err", exec: func(runner.Sub) (any, error) {
+		return 42, nil
+	}}
+	if v, err := eng.RunSpec(okSpec); err != nil || v != 42 {
+		t.Fatalf("retry after shared failure: v=%v err=%v", v, err)
+	}
+}
+
+// TestRunSpecCtxCancelledBeforeStart: an already-cancelled context aborts
+// before the spec executes.
+func TestRunSpecCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := runner.New(1)
+	_, err := eng.RunSpecCtx(ctx, fnSpec{key: "never", exec: func(runner.Sub) (any, error) {
+		t.Error("executor ran under a cancelled context")
+		return nil, nil
+	}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, misses := eng.CacheStats(); misses != 0 {
+		t.Errorf("cancelled-before-start counted %d misses", misses)
+	}
+}
+
+// TestCancelDuringRunThenRerun: a spec that observes Sub.Context() unwinds
+// when the context is cancelled mid-run, and the same key re-runs to
+// completion on the same engine afterwards — the acceptance property for
+// labd's DELETE /v1/jobs/{key} + resubmit flow.
+func TestCancelDuringRunThenRerun(t *testing.T) {
+	var execs int32
+	running := make(chan struct{})
+	sp := fnSpec{key: "cancellable", exec: func(sub runner.Sub) (any, error) {
+		if atomic.AddInt32(&execs, 1) == 1 {
+			close(running)
+			<-sub.Context().Done() // cooperative executor: observes cancellation
+			return nil, sub.Context().Err()
+		}
+		return "done", nil
+	}}
+	eng := runner.New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := eng.RunSpecCtx(ctx, sp)
+		errCh <- err
+	}()
+	<-running
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run: err = %v, want context.Canceled", err)
+	}
+	v, err := eng.RunSpec(sp) // fresh (background) context: must re-execute
+	if err != nil || v != "done" {
+		t.Fatalf("re-run after cancellation: v=%v err=%v", v, err)
+	}
+	if n := atomic.LoadInt32(&execs); n != 2 {
+		t.Errorf("executed %d times, want 2 (cancelled, then re-run)", n)
+	}
+}
+
+// TestNestedContextPropagation: the Sub handed to an executor carries the
+// parent job's context, so cancelling a composite job cancels its whole
+// nested tree.
+func TestNestedContextPropagation(t *testing.T) {
+	inner := fnSpec{key: "nested-inner", exec: func(sub runner.Sub) (any, error) {
+		<-sub.Context().Done()
+		return nil, sub.Context().Err()
+	}}
+	outer := fnSpec{key: "nested-outer", exec: func(sub runner.Sub) (any, error) {
+		return sub.RunSpec(inner)
+	}}
+	eng := runner.New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := eng.RunSpecCtx(ctx, outer)
+		errCh <- err
+	}()
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("nested cancellation: err = %v, want context.Canceled", err)
+	}
 }

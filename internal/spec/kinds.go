@@ -27,6 +27,7 @@ package spec
 //                   which the Straight hint preserves as the oracle).
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strconv"
@@ -39,6 +40,30 @@ import (
 	"repro/internal/warm"
 	"repro/internal/workload"
 )
+
+// cancelPoll adapts the executing job's context into the engines' Cancel
+// hook: a cheap non-blocking poll the region/quantum loops call between
+// work units. For an unbound context (driver CLIs, RunMatrix) Done() is a
+// nil channel and the poll is always false.
+func cancelPoll(ctx context.Context) func() bool {
+	done := ctx.Done()
+	if done == nil {
+		return nil
+	}
+	return func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// ctxErr returns the sub context's error, which executors consult after a
+// cancellable engine run: a cancelled run returned a partial result that
+// must be discarded (reported as the context's error, never cached).
+func ctxErr(sub runner.Sub) error { return sub.Context().Err() }
 
 // Registered kind names.
 const (
@@ -98,7 +123,7 @@ type samplingArtifact struct {
 	DeLorean *core.Result `json:"delorean,omitempty"`
 }
 
-func runSampling(p Params, _ runner.Sub) (any, error) {
+func runSampling(p Params, sub runner.Sub) (any, error) {
 	sp := p.(SamplingParams)
 	prof, err := sp.Bench.Resolve()
 	if err != nil {
@@ -106,15 +131,22 @@ func runSampling(p Params, _ runner.Sub) (any, error) {
 	}
 	bench, method, extra := sp.Identity()
 	cfg := SeedConfig(sp.Cfg, bench, method, extra)
+	cfg.Cancel = cancelPoll(sub.Context())
+	var res any
 	switch sp.Method {
 	case MethodSMARTS:
-		return warm.RunSMARTS(prof, cfg), nil
+		res = warm.RunSMARTS(prof, cfg)
 	case MethodCoolSim:
-		return warm.RunCoolSim(prof, cfg), nil
+		res = warm.RunCoolSim(prof, cfg)
 	case MethodDeLorean:
-		return core.Run(prof, cfg), nil
+		res = core.Run(prof, cfg)
+	default:
+		return nil, fmt.Errorf("unknown method %q", sp.Method)
 	}
-	return nil, fmt.Errorf("unknown method %q", sp.Method)
+	if err := ctxErr(sub); err != nil {
+		return nil, err // cancelled mid-run: discard the partial result
+	}
+	return res, nil
 }
 
 // ---------------------------------------------------------------- dse-sweep
@@ -142,7 +174,7 @@ func (p DSESweepParams) Identity() (bench, method, extra string) {
 
 func (p DSESweepParams) benchRefs() []BenchRef { return []BenchRef{p.Bench} }
 
-func runDSESweep(p Params, _ runner.Sub) (any, error) {
+func runDSESweep(p Params, sub runner.Sub) (any, error) {
 	sp := p.(DSESweepParams)
 	prof, err := sp.Bench.Resolve()
 	if err != nil {
@@ -150,11 +182,16 @@ func runDSESweep(p Params, _ runner.Sub) (any, error) {
 	}
 	bench, method, extra := sp.Identity()
 	cfg := SeedConfig(sp.Cfg, bench, method, extra)
+	cfg.Cancel = cancelPoll(sub.Context())
 	workers := sp.Workers
 	if workers <= 0 {
 		workers = 1 // see DSESweepParams.Workers: decoded specs never fan out
 	}
-	return dse.RunParallel(prof, cfg, sp.Sizes, workers), nil
+	res := dse.RunParallel(prof, cfg, sp.Sizes, workers)
+	if err := ctxErr(sub); err != nil {
+		return nil, err // cancelled mid-run: discard the partial result
+	}
+	return res, nil
 }
 
 // ------------------------------------------------------------ corun kinds
@@ -185,14 +222,19 @@ func CoRunProfileParamsFor(app BenchRef, base warm.Config) CoRunProfileParams {
 	return CoRunProfileParams{Bench: app, Cfg: base}
 }
 
-func runCoRunProfile(p Params, _ runner.Sub) (any, error) {
+func runCoRunProfile(p Params, sub runner.Sub) (any, error) {
 	sp := p.(CoRunProfileParams)
 	prof, err := sp.Bench.Resolve()
 	if err != nil {
 		return nil, err
 	}
 	cs := multiprog.CoSimFromWarm(sp.Cfg, sp.Cfg.LLCPaperBytes)
-	return multiprog.ProfileSolo(prof, cs), nil
+	cs.Cancel = cancelPoll(sub.Context())
+	res := multiprog.ProfileSolo(prof, cs)
+	if err := ctxErr(sub); err != nil {
+		return nil, err // cancelled mid-run: discard the partial result
+	}
+	return res, nil
 }
 
 // CoRunCalParams completes one app's calibration at the target LLC size
@@ -222,7 +264,12 @@ func runCoRunCalibrate(p Params, sub runner.Sub) (any, error) {
 		return nil, err
 	}
 	cs := multiprog.CoSimFromWarm(sp.Cfg, sp.Cfg.LLCPaperBytes)
-	return v.(multiprog.SoloProfile).Calibrate(cs), nil
+	cs.Cancel = cancelPoll(sub.Context())
+	res := v.(multiprog.SoloProfile).Calibrate(cs)
+	if err := ctxErr(sub); err != nil {
+		return nil, err // cancelled mid-run: discard the partial result
+	}
+	return res, nil
 }
 
 // CoRunWarmParams produces the warmed+aligned co-run engine state for one
@@ -244,14 +291,19 @@ func (p CoRunWarmParams) Identity() (bench, method, extra string) {
 
 func (p CoRunWarmParams) benchRefs() []BenchRef { return append([]BenchRef(nil), p.Apps...) }
 
-func runCoRunWarm(p Params, _ runner.Sub) (any, error) {
+func runCoRunWarm(p Params, sub runner.Sub) (any, error) {
 	sp := p.(CoRunWarmParams)
 	profs, err := resolveAll(sp.Apps)
 	if err != nil {
 		return nil, err
 	}
-	cs := multiprog.NewCoSim(profs, multiprog.CoSimFromWarm(sp.Cfg, sp.Cfg.LLCPaperBytes))
+	cfg := multiprog.CoSimFromWarm(sp.Cfg, sp.Cfg.LLCPaperBytes)
+	cfg.Cancel = cancelPoll(sub.Context())
+	cs := multiprog.NewCoSim(profs, cfg)
 	cs.WarmAlign()
+	if err := ctxErr(sub); err != nil {
+		return nil, err // cancelled mid-warm-up: never checkpoint partial state
+	}
 	return cs.Checkpoint(), nil
 }
 
@@ -282,12 +334,17 @@ func (p CoRunSimParams) benchRefs() []BenchRef { return append([]BenchRef(nil), 
 func runCoRunSim(p Params, sub runner.Sub) (any, error) {
 	sp := p.(CoRunSimParams)
 	cfg := multiprog.CoSimFromWarm(sp.Cfg, sp.Cfg.LLCPaperBytes)
+	cfg.Cancel = cancelPoll(sub.Context())
 	if sp.Straight {
 		profs, err := resolveAll(sp.Apps)
 		if err != nil {
 			return nil, err
 		}
-		return multiprog.SimulateCoRun(profs, cfg), nil
+		res := multiprog.SimulateCoRun(profs, cfg)
+		if err := ctxErr(sub); err != nil {
+			return nil, err // cancelled mid-run: discard the partial result
+		}
+		return res, nil
 	}
 	// Forked path: the warm-up runs (or is served from cache/store) as a
 	// nested corun-warm spec, then this cell forks its measured window from
@@ -308,9 +365,15 @@ func runCoRunSim(p Params, sub runner.Sub) (any, error) {
 	// The checkpoint pins the warmed state; the measured horizon belongs to
 	// this cell (today they always agree — both derive from the same
 	// warm.Config — but the checkpoint's key is the warm point, so the
-	// horizon must come from the consumer).
+	// horizon must come from the consumer). Cancel rides along the same
+	// way: a decoded checkpoint never carries one.
 	cs.Cfg.MeasureCycles = cfg.MeasureCycles
-	return cs.RunMeasured(), nil
+	cs.Cfg.Cancel = cfg.Cancel
+	res := cs.RunMeasured()
+	if err := ctxErr(sub); err != nil {
+		return nil, err // cancelled mid-run: discard the partial result
+	}
+	return res, nil
 }
 
 func resolveAll(refs []BenchRef) ([]*workload.Profile, error) {

@@ -63,13 +63,23 @@ type KindInfo struct {
 
 var registry = map[string]KindInfo{}
 
-// register adds a kind; duplicate names are a programming error.
-func register(k KindInfo) {
+// Register adds an experiment kind to the registry. The built-in kinds
+// register themselves at init; additional kinds (service extensions,
+// test doubles for the lab service's failure paths) may be registered
+// before any engine or store is constructed. Duplicate names and
+// incomplete definitions are programming errors.
+func Register(k KindInfo) {
+	if k.Name == "" || k.New == nil || k.Run == nil {
+		panic("spec: incomplete kind registration")
+	}
 	if _, dup := registry[k.Name]; dup {
 		panic("spec: duplicate kind " + k.Name)
 	}
 	registry[k.Name] = k
 }
+
+// register is the internal alias the built-in init registration uses.
+func register(k KindInfo) { Register(k) }
 
 // Kinds returns the registered kinds sorted by name.
 func Kinds() []KindInfo {

@@ -63,7 +63,19 @@ type Config struct {
 	// Seed perturbs the probabilistic classifier decisions (not the
 	// workload, which carries its own seed).
 	Seed uint64
+
+	// Cancel, when set, is polled between detailed regions (the
+	// methodologies' natural work quantum): a true return makes the run
+	// stop early and return a partial result, which the spec layer then
+	// discards by reporting the context's error. It is an execution hint —
+	// excluded from serialization and spec identity (`json:"-"`), never
+	// set on decoded specs, and nil everywhere outside a cancellable
+	// service job.
+	Cancel func() bool `json:"-"`
 }
+
+// Cancelled reports whether the run's Cancel hook (if any) asks to stop.
+func (c Config) Cancelled() bool { return c.Cancel != nil && c.Cancel() }
 
 // RSWSegment is one segment of CoolSim's adaptive schedule.
 type RSWSegment struct {

@@ -24,6 +24,9 @@ func RunCoolSim(prof *workload.Profile, cfg Config) *Result {
 	res := &Result{Bench: prof.Name, Method: "CoolSim", Counters: eng.Counters}
 
 	for m := 0; m < cfg.Regions; m++ {
+		if cfg.Cancelled() {
+			return res // partial; the caller discards it via its context error
+		}
 		warmStart := cfg.RegionStart(m) - cfg.DetailWarm
 		span := warmStart - prog.InstrIndex()
 

@@ -24,6 +24,9 @@ func RunSMARTS(prof *workload.Profile, cfg Config) *Result {
 
 	res := &Result{Bench: prof.Name, Method: "SMARTS", Counters: eng.Counters}
 	for m := 0; m < cfg.Regions; m++ {
+		if cfg.Cancelled() {
+			return res // partial; the caller discards it via its context error
+		}
 		warmStart := cfg.RegionStart(m) - cfg.DetailWarm
 		// Functional warming across the whole gap: cache tags, replacement
 		// state and predictor all stay warm. Cost scales with the gap.
