@@ -1,6 +1,9 @@
 // Command bench runs the internal/perf end-to-end scenarios and reports
-// ns/access, allocs/access and accesses/sec, optionally persisting the
-// results as JSON and gating against checked-in references.
+// ns/access (aggregate mean and per-repetition median), allocs/access and
+// accesses/sec, optionally persisting the results as JSON and gating
+// against checked-in references. The -compare gate judges the median when
+// both reports carry one (see perf.Compare) so a single outlier
+// repetition — one slow fsync — cannot fail CI.
 //
 // Usage:
 //
@@ -90,11 +93,11 @@ func main() {
 		rep = perf.RunAll(scens, *quick, target)
 	}
 
-	fmt.Printf("%-14s %12s %14s %14s %10s\n",
-		"scenario", "ns/access", "accesses/sec", "allocs/access", "accesses")
+	fmt.Printf("%-14s %12s %12s %14s %14s %10s\n",
+		"scenario", "ns/access", "median", "accesses/sec", "allocs/access", "accesses")
 	for _, m := range rep.Scenarios {
-		fmt.Printf("%-14s %12.1f %14.0f %14.4f %10d\n",
-			m.Scenario, m.NsPerAccess, m.AccessesPerSec, m.AllocsPerAccess, m.Accesses)
+		fmt.Printf("%-14s %12.1f %12.1f %14.0f %14.4f %10d\n",
+			m.Scenario, m.NsPerAccess, m.NsPerAccessMedian, m.AccessesPerSec, m.AllocsPerAccess, m.Accesses)
 	}
 
 	if *out != "" {

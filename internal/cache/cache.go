@@ -75,24 +75,27 @@ func (o Outcome) String() string {
 	return "outcome?"
 }
 
-// way is one cache way: tag and LRU timestamp packed together so a set
-// probe walks one contiguous run of memory instead of parallel slices
-// (the lookup is the single hottest loop in the simulator). age == 0
-// doubles as the invalid marker — the tick counter pre-increments, so a
-// resident line always has age >= 1 — keeping the way at 16 bytes.
-type way struct {
-	tag uint64
-	age uint64
-}
-
 // Cache is one set-associative cache level. The zero value is unusable;
 // call New. Not safe for concurrent use.
+//
+// The way metadata is structure-of-arrays: tags and ages live in parallel
+// slices indexed set*assoc+way, not in an array of 16-byte {tag, age}
+// records. A set's tags are then contiguous — an 8-way LLC set's tag scan
+// reads one 64-byte host line instead of striding across two — and the
+// probe-only paths (Probe, WayIndexOf, the timing core's prefetch hint)
+// touch tags alone. A/B measured against the packed layout on the full
+// scenario suite, SoA won at both levels; the packed record's claimed
+// advantage (one contiguous run per 2-way probe) did not survive
+// measurement — see DESIGN.md §12 for both sets of numbers.
+// age == 0 doubles as the invalid marker: the tick counter pre-increments,
+// so a resident line always has age >= 1.
 type Cache struct {
 	cfg     Config
 	sets    uint64
 	setMask uint64 // sets-1 when sets is a power of two, else 0
 	assoc   int
-	ways    []way // sets*assoc entries
+	tags    []uint64 // sets*assoc entries
+	ages    []uint64 // sets*assoc entries; 0 = invalid
 	tick    uint64
 	rngSt   uint64 // for Random replacement
 
@@ -112,7 +115,8 @@ func New(cfg Config) *Cache {
 		cfg:   cfg,
 		sets:  sets,
 		assoc: assoc,
-		ways:  make([]way, sets*uint64(assoc)),
+		tags:  make([]uint64, sets*uint64(assoc)),
+		ages:  make([]uint64, sets*uint64(assoc)),
 		rngSt: 0x2545f4914f6cdd1d,
 	}
 	if sets&(sets-1) == 0 {
@@ -137,64 +141,80 @@ func (c *Cache) setOf(l mem.Line) uint64 {
 // On a miss the line is installed (write-allocate) and the victim line is
 // returned with evicted=true if a valid line was displaced.
 func (c *Cache) Lookup(l mem.Line) (out Outcome, victim mem.Line, evicted bool) {
-	base := c.setOf(l) * uint64(c.assoc)
-	set := c.ways[base : base+uint64(c.assoc)]
 	c.tick++
 	if c.assoc == 2 {
-		// Two-way specialization: the L1s are 2-way (Table 1) and sit in
-		// front of every access, so this path runs more than any other
-		// loop in the simulator. Branch structure mirrors the general
-		// scan below exactly.
-		e0, e1 := &set[0], &set[1]
-		if e0.tag == uint64(l) && e0.age != 0 {
-			e0.age = c.tick
-			c.NHits++
-			return Hit, 0, false
-		}
-		if e1.tag == uint64(l) && e1.age != 0 {
-			e1.age = c.tick
-			c.NHits++
-			return Hit, 0, false
-		}
-		c.NMisses++
-		v := e0
-		switch {
-		case e0.age == 0:
-		case e1.age == 0:
-			v = e1
-		default:
-			if c.cfg.Policy == Random {
-				c.rngSt ^= c.rngSt << 13
-				c.rngSt ^= c.rngSt >> 7
-				c.rngSt ^= c.rngSt << 17
-				if c.rngSt&1 != 0 {
-					v = e1
-				}
-			} else if e1.age < e0.age {
-				v = e1
-			}
-			victim, evicted = mem.Line(v.tag), true
-		}
-		*v = way{tag: uint64(l), age: c.tick}
-		return Miss, victim, evicted
+		return c.lookup2(l)
 	}
+	return c.lookupN(l)
+}
+
+// lookup2 is the two-way specialization: the L1s are 2-way (Table 1) and
+// sit in front of every access, so this path runs more than any other loop
+// in the simulator. Decision structure mirrors lookupN exactly (same
+// outcome, victim way and replacement update for every state), pinned by
+// the assoc-2 equivalence property/fuzz tests.
+func (c *Cache) lookup2(l mem.Line) (out Outcome, victim mem.Line, evicted bool) {
+	base := c.setOf(l) * 2
+	t := c.tags[base : base+2 : base+2]
+	a := c.ages[base : base+2 : base+2]
+	if t[0] == uint64(l) && a[0] != 0 {
+		a[0] = c.tick
+		c.NHits++
+		return Hit, 0, false
+	}
+	if t[1] == uint64(l) && a[1] != 0 {
+		a[1] = c.tick
+		c.NHits++
+		return Hit, 0, false
+	}
+	c.NMisses++
+	w := 0
+	switch {
+	case a[0] == 0:
+	case a[1] == 0:
+		w = 1
+	default:
+		if c.cfg.Policy == Random {
+			c.rngSt ^= c.rngSt << 13
+			c.rngSt ^= c.rngSt >> 7
+			c.rngSt ^= c.rngSt << 17
+			if c.rngSt&1 != 0 {
+				w = 1
+			}
+		} else if a[1] < a[0] {
+			w = 1
+		}
+		victim, evicted = mem.Line(t[w]), true
+	}
+	t[w] = uint64(l)
+	a[w] = c.tick
+	return Miss, victim, evicted
+}
+
+// lookupN is the general N-way scan. One pass over the set's contiguous
+// tag run finds the hit way; ages gate validity and carry the LRU order.
+func (c *Cache) lookupN(l mem.Line) (out Outcome, victim mem.Line, evicted bool) {
+	assoc := uint64(c.assoc)
+	base := c.setOf(l) * assoc
+	t := c.tags[base : base+assoc : base+assoc]
+	a := c.ages[base : base+assoc : base+assoc]
 	var emptyWay, lruWay int = -1, 0
 	var lruAge uint64 = ^uint64(0)
-	for w := range set {
-		e := &set[w]
-		if e.age == 0 {
+	for w := range a {
+		age := a[w]
+		if age == 0 {
 			if emptyWay < 0 {
 				emptyWay = w
 			}
 			continue
 		}
-		if e.tag == uint64(l) {
-			e.age = c.tick
+		if t[w] == uint64(l) {
+			a[w] = c.tick
 			c.NHits++
 			return Hit, 0, false
 		}
-		if e.age < lruAge {
-			lruAge = e.age
+		if age < lruAge {
+			lruAge = age
 			lruWay = w
 		}
 	}
@@ -205,26 +225,29 @@ func (c *Cache) Lookup(l mem.Line) (out Outcome, victim mem.Line, evicted bool) 
 			c.rngSt ^= c.rngSt << 13
 			c.rngSt ^= c.rngSt >> 7
 			c.rngSt ^= c.rngSt << 17
-			w = int(c.rngSt % uint64(c.assoc))
+			w = int(c.rngSt % assoc)
 		} else {
 			w = lruWay
 		}
-		victim, evicted = mem.Line(set[w].tag), true
+		victim, evicted = mem.Line(t[w]), true
 	}
-	set[w] = way{tag: uint64(l), age: c.tick}
+	t[w] = uint64(l)
+	a[w] = c.tick
 	return Miss, victim, evicted
 }
 
-// WayIndexOf returns the index into the cache's way array currently
+// WayIndexOf returns the index into the cache's way arrays currently
 // holding line l, or -1 when the line is not resident. Like Probe it
 // changes no state (no tick, no recency, no counters); it exists so a
 // caller that can prove the next Lookup of l must hit — the timing core's
 // fetch-line memo — can pair it with Touch and skip the set search.
 func (c *Cache) WayIndexOf(l mem.Line) int {
-	base := c.setOf(l) * uint64(c.assoc)
-	set := c.ways[base : base+uint64(c.assoc)]
-	for w := range set {
-		if set[w].tag == uint64(l) && set[w].age != 0 {
+	assoc := uint64(c.assoc)
+	base := c.setOf(l) * assoc
+	t := c.tags[base : base+assoc : base+assoc]
+	a := c.ages[base : base+assoc : base+assoc]
+	for w := range t {
+		if t[w] == uint64(l) && a[w] != 0 {
 			return int(base) + w
 		}
 	}
@@ -240,17 +263,31 @@ func (c *Cache) WayIndexOf(l mem.Line) int {
 // consecutive instructions.
 func (c *Cache) Touch(w int) {
 	c.tick++
-	c.ways[w].age = c.tick
+	c.ages[w] = c.tick
 	c.NHits++
+}
+
+// PrefetchSet is the timing core's software-prefetch hint: it reads the
+// first tag and age word of the set that line l maps to, pulling the set's
+// metadata toward the host cache before the Lookup that will scan it. It
+// mutates nothing (no tick, no counters, no recency) so issuing or
+// skipping it cannot move a simulated bit. The return value is the tag
+// word read; callers accumulate it into a sink so the compiler cannot
+// discard the load.
+func (c *Cache) PrefetchSet(l mem.Line) uint64 {
+	base := c.setOf(l) * uint64(c.assoc)
+	return c.tags[base] + c.ages[base]
 }
 
 // Probe reports whether the line is present without touching replacement
 // state or statistics.
 func (c *Cache) Probe(l mem.Line) bool {
-	base := c.setOf(l) * uint64(c.assoc)
-	set := c.ways[base : base+uint64(c.assoc)]
-	for w := range set {
-		if set[w].tag == uint64(l) && set[w].age != 0 {
+	assoc := uint64(c.assoc)
+	base := c.setOf(l) * assoc
+	t := c.tags[base : base+assoc : base+assoc]
+	a := c.ages[base : base+assoc : base+assoc]
+	for w := range t {
+		if t[w] == uint64(l) && a[w] != 0 {
 			return true
 		}
 	}
@@ -261,10 +298,11 @@ func (c *Cache) Probe(l mem.Line) bool {
 // The Fig. 3 classifier uses this: a lukewarm miss into a full set is a
 // certain conflict miss.
 func (c *Cache) SetFull(l mem.Line) bool {
-	base := c.setOf(l) * uint64(c.assoc)
-	set := c.ways[base : base+uint64(c.assoc)]
-	for w := range set {
-		if set[w].age == 0 {
+	assoc := uint64(c.assoc)
+	base := c.setOf(l) * assoc
+	a := c.ages[base : base+assoc : base+assoc]
+	for w := range a {
+		if a[w] == 0 {
 			return false
 		}
 	}
@@ -275,34 +313,36 @@ func (c *Cache) SetFull(l mem.Line) bool {
 // when the statistical classifier decides a "warming miss" is really a hit
 // and the line must appear present from then on).
 func (c *Cache) Install(l mem.Line) {
-	base := c.setOf(l) * uint64(c.assoc)
-	set := c.ways[base : base+uint64(c.assoc)]
+	assoc := uint64(c.assoc)
+	base := c.setOf(l) * assoc
+	t := c.tags[base : base+assoc : base+assoc]
+	a := c.ages[base : base+assoc : base+assoc]
 	c.tick++
 	var wIdx int = -1
 	var lruAge uint64 = ^uint64(0)
-	for w := range set {
-		e := &set[w]
-		if e.tag == uint64(l) && e.age != 0 {
-			e.age = c.tick
+	for w := range a {
+		if t[w] == uint64(l) && a[w] != 0 {
+			a[w] = c.tick
 			return
 		}
-		if e.age == 0 {
+		if a[w] == 0 {
 			wIdx = w
 			break
 		}
-		if e.age < lruAge {
-			lruAge = e.age
+		if a[w] < lruAge {
+			lruAge = a[w]
 			wIdx = w
 		}
 	}
-	set[wIdx] = way{tag: uint64(l), age: c.tick}
+	t[wIdx] = uint64(l)
+	a[wIdx] = c.tick
 }
 
 // Occupancy returns the number of valid lines (for invariant tests).
 func (c *Cache) Occupancy() uint64 {
 	var n uint64
-	for i := range c.ways {
-		if c.ways[i].age != 0 {
+	for i := range c.ages {
+		if c.ages[i] != 0 {
 			n++
 		}
 	}
@@ -311,8 +351,8 @@ func (c *Cache) Occupancy() uint64 {
 
 // Reset invalidates the entire cache and clears statistics.
 func (c *Cache) Reset() {
-	for i := range c.ways {
-		c.ways[i].age = 0
+	for i := range c.ages {
+		c.ages[i] = 0
 	}
 	c.tick = 0
 	c.NHits, c.NMisses, c.NMSHRHits = 0, 0, 0

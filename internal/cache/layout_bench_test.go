@@ -1,0 +1,64 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// Per-level layout benchmarks: the A/B instrument behind the SoA way
+// arrays (DESIGN.md §12). Each benchmark drives one level's dominant
+// access pattern through the public Lookup path so the same harness
+// measures either layout:
+//
+//   - 2-way L1, hit-heavy: a small working set that fits, ~94% hits —
+//     the solo-pipeline / timing-core L1D profile;
+//   - 2-way L1, conflict-heavy: a working set 4x capacity, mostly misses
+//     with eviction — the warm-up phase profile;
+//   - 8-way LLC, scan-heavy: a working set around capacity, so lookups
+//     walk full sets with mixed hit/miss — the shared-LLC co-run profile.
+//
+// The address streams are generated with the same xorshift the caches use
+// internally, so they are deterministic and identical across layouts.
+
+func benchLookup(b *testing.B, cfg Config, footprintLines uint64) {
+	const streamLen = 1 << 18 // enough distinct draws to cover LLC-sized footprints
+	c := New(cfg)
+	// Deterministic scrambled stream over the footprint.
+	lines := make([]mem.Line, streamLen)
+	st := uint64(0x9e3779b97f4a7c15)
+	for i := range lines {
+		st ^= st << 13
+		st ^= st >> 7
+		st ^= st << 17
+		lines[i] = mem.Line(st % footprintLines)
+	}
+	for _, l := range lines {
+		c.Lookup(l) // warm
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(lines[i&(streamLen-1)])
+	}
+	b.ReportMetric(c.MissRatio(), "missratio")
+}
+
+func BenchmarkLookupL1HitHeavy(b *testing.B) {
+	cfg := Config{Name: "L1D", SizeB: 64 << 10, Assoc: 2, HitLat: 3}
+	benchLookup(b, cfg, cfg.Lines()/2)
+}
+
+func BenchmarkLookupL1ConflictHeavy(b *testing.B) {
+	cfg := Config{Name: "L1D", SizeB: 64 << 10, Assoc: 2, HitLat: 3}
+	benchLookup(b, cfg, cfg.Lines()*4)
+}
+
+func BenchmarkLookupLLCScanHeavy(b *testing.B) {
+	cfg := Config{Name: "LLC", SizeB: 8 << 20, Assoc: 8, HitLat: 30}
+	benchLookup(b, cfg, cfg.Lines())
+}
+
+func BenchmarkLookupLLCMissHeavy(b *testing.B) {
+	cfg := Config{Name: "LLC", SizeB: 8 << 20, Assoc: 8, HitLat: 30}
+	benchLookup(b, cfg, cfg.Lines()*4)
+}

@@ -30,21 +30,22 @@ type CacheState struct {
 }
 
 // State captures the cache's mutable state. The result shares no storage
-// with the cache.
+// with the cache. The wire form has always been parallel tag/age arrays,
+// so the in-memory move to the same structure-of-arrays layout left the
+// encoding — and every previously persisted checkpoint — untouched (the
+// golden fixture in state_test.go pins that).
 func (c *Cache) State() CacheState {
 	s := CacheState{
-		Tags:      make([]uint64, len(c.ways)),
-		Ages:      make([]uint64, len(c.ways)),
+		Tags:      make([]uint64, len(c.tags)),
+		Ages:      make([]uint64, len(c.ages)),
 		Tick:      c.tick,
 		RNG:       c.rngSt,
 		NHits:     c.NHits,
 		NMisses:   c.NMisses,
 		NMSHRHits: c.NMSHRHits,
 	}
-	for i := range c.ways {
-		s.Tags[i] = c.ways[i].tag
-		s.Ages[i] = c.ways[i].age
-	}
+	copy(s.Tags, c.tags)
+	copy(s.Ages, c.ages)
 	return s
 }
 
@@ -52,13 +53,12 @@ func (c *Cache) State() CacheState {
 // The cache's subsequent behaviour is bit-identical to the captured one's;
 // the state value is copied, never aliased.
 func (c *Cache) SetState(s CacheState) error {
-	if len(s.Tags) != len(c.ways) || len(s.Ages) != len(c.ways) {
+	if len(s.Tags) != len(c.tags) || len(s.Ages) != len(c.ages) {
 		return fmt.Errorf("cache %s: state has %d/%d ways, cache has %d",
-			c.cfg.Name, len(s.Tags), len(s.Ages), len(c.ways))
+			c.cfg.Name, len(s.Tags), len(s.Ages), len(c.tags))
 	}
-	for i := range c.ways {
-		c.ways[i] = way{tag: s.Tags[i], age: s.Ages[i]}
-	}
+	copy(c.tags, s.Tags)
+	copy(c.ages, s.Ages)
 	c.tick = s.Tick
 	c.rngSt = s.RNG
 	c.NHits, c.NMisses, c.NMSHRHits = s.NHits, s.NMisses, s.NMSHRHits

@@ -83,3 +83,51 @@ func TestHierarchyStateRejectsShapeMismatch(t *testing.T) {
 		t.Error("restore accepted a state without the target's prefetcher")
 	}
 }
+
+// TestCacheStateGoldenFixture pins the CacheState wire format with a
+// checked-in JSON literal captured before the way metadata moved to the
+// structure-of-arrays layout. The wire form has always been parallel
+// tag/age arrays, so a checkpoint persisted by the AoS build must decode,
+// restore, behave and re-encode byte-identically on the SoA build — this
+// is the compatibility contract for every PR 6-era artifact store.
+func TestCacheStateGoldenFixture(t *testing.T) {
+	// A 4-line 2-way cache (2 sets): set 0 holds line 10 (age 5) with way 1
+	// invalid; set 1 is full with lines 21 (age 7) and 33 (age 3).
+	const fixture = `{"tags":[10,0,21,33],"ages":[5,0,7,3],"tick":9,"rng":77,"hits":6,"misses":4,"mshr_hits":1}`
+	cfg := Config{Name: "golden", SizeB: 4 * mem.LineSize, Assoc: 2, Policy: LRU, HitLat: 3}
+
+	var s CacheState
+	if err := json.Unmarshal([]byte(fixture), &s); err != nil {
+		t.Fatalf("decode fixture: %v", err)
+	}
+	c := New(cfg)
+	if err := c.SetState(s); err != nil {
+		t.Fatalf("restore fixture: %v", err)
+	}
+
+	// Re-encoding the restored state must reproduce the fixture bytes.
+	got, err := json.Marshal(c.State())
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(got) != fixture {
+		t.Fatalf("wire format drifted:\n got  %s\n want %s", got, fixture)
+	}
+
+	// And the restored cache must behave as the captured one did.
+	if c.Occupancy() != 3 {
+		t.Fatalf("occupancy = %d, want 3", c.Occupancy())
+	}
+	for l, want := range map[mem.Line]bool{10: true, 21: true, 33: true, 12: false, 1: false} {
+		if c.Probe(l) != want {
+			t.Errorf("Probe(%d) = %v, want %v", l, !want, want)
+		}
+	}
+	// A conflicting access in full set 1 must evict the LRU way (line 33,
+	// age 3 < 7) — the decision a pre-SoA cache restored from this state
+	// would make.
+	out, victim, evicted := c.Lookup(43)
+	if out != Miss || !evicted || victim != 33 {
+		t.Errorf("Lookup(43) = (%v, %d, %v), want (Miss, 33, true)", out, victim, evicted)
+	}
+}

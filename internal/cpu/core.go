@@ -147,28 +147,45 @@ func (r *mshrRing) push(x uint64) {
 // Sniper popularized, and it preserves exactly the effects statistical
 // warming must predict: latency differences between cache levels,
 // MSHR-limited overlap, and branch-misprediction serialization.
+// Field order is a deliberate host-cache layout, not cosmetics. The
+// per-instruction hot cluster — the fields RunBatch reads or writes on
+// every memory instruction after hoisting the scheduling state into
+// locals — sits contiguously at offset 0, spanning exactly three 64-byte
+// host lines instead of the four-plus it straddled in declaration order.
+// Batch-boundary fields (read/written once per quantum) follow, and the
+// per-run configuration is last. The trailing pad rounds the struct to
+// 384 bytes, a multiple of the host line size that is also its own malloc
+// size class, so two cores allocated back-to-back and driven from
+// different host threads (independent matrix cells) can never false-share
+// a line.
 type Core struct {
-	Cfg  Config
-	BP   *BranchPred
-	Hier *cache.Hierarchy
-
-	cycle        uint64 // dispatch front cycle (fixed point: subcycles via width counting)
-	widthCount   int
-	fetchStall   uint64                        // cycle until which the front-end is squashed
-	completion   []uint64                      // ring buffer of the last ROB completion times
-	robSlot      int                           // completion-ring slot of the next instruction (wraps at ROB)
-	outstanding  mem.FlatMap[mem.Line, uint64] // line -> completion cycle
-	mshrFree     mshrRing
-	maxComplete  uint64
-	mshrs        int    // L1D MSHR count, resolved once from the hierarchy config
-	pruneLen     int    // outstanding-table occupancy that triggers a prune
-	outMin       uint64 // lower bound on the outstanding table's minimum completion time
-	pruneScratch []mem.Line
+	// --- hot: touched per memory instruction ---
+	mshrFree    mshrRing
+	outstanding mem.FlatMap[mem.Line, uint64] // line -> completion cycle
+	outMin      uint64                        // lower bound on the outstanding table's minimum completion time
+	mshrs       int                           // L1D MSHR count, resolved once from the hierarchy config
+	pruneLen    int                           // outstanding-table occupancy that triggers a prune
 	// acc is the scratch record handed to Hierarchy.AccessData. It lives in
 	// the (heap-resident) core rather than on the Run/RunBatch stack because
 	// the oracle interface call inside AccessData makes a stack-local record
 	// escape — one heap allocation per quantum on the co-run hot path.
 	acc mem.Access
+
+	// --- warm: read/written once per batch (locals inside RunBatch) ---
+	cycle        uint64 // dispatch front cycle (fixed point: subcycles via width counting)
+	widthCount   int
+	fetchStall   uint64   // cycle until which the front-end is squashed
+	robSlot      int      // completion-ring slot of the next instruction (wraps at ROB)
+	maxComplete  uint64
+	completion   []uint64 // ring buffer of the last ROB completion times
+	pruneScratch []mem.Line
+
+	// --- cold: per-run configuration ---
+	Cfg  Config
+	BP   *BranchPred
+	Hier *cache.Hierarchy
+
+	_ [8]byte // round to 384 = 6 host lines = own size class
 }
 
 // NewCore builds a core over the given (already constructed) hierarchy and
@@ -389,8 +406,26 @@ func (c *Core) RunBatch(prog *workload.Program, n uint64, b *workload.InstrBatch
 	lastWay := -1
 
 	batch := *b
+	nBatch := len(batch)
+	var pfSink uint64
 	for k := range batch {
 		ins := &batch[k]
+
+		// Software prefetch: the whole quantum is decoded up front, so the
+		// L1D set of the memory access PrefetchDist instructions ahead is
+		// known now — prime its metadata while this instruction is timed.
+		// State-free (PrefetchSet mutates nothing), so timing bits cannot
+		// move; pfSink defeats dead-code elimination via cache.KeepLoads.
+		// Compiled out at PrefetchDist = 0: the hint lost its A/B at every
+		// distance and placement tried (see the constant in internal/cache).
+		if cache.PrefetchDist > 0 {
+			if j := k + cache.PrefetchDist; j < nBatch {
+				// Branchless mem-op test: Load and Store are adjacent kinds.
+				if nxt := &batch[j]; nxt.Kind-workload.KindLoad <= 1 {
+					pfSink += l1d.PrefetchSet(mem.LineOf(nxt.Addr))
+				}
+			}
+		}
 
 		// Front end: width, redirect and ROB constraints.
 		widthCount++
@@ -525,6 +560,7 @@ func (c *Core) RunBatch(prog *workload.Program, n uint64, b *workload.InstrBatch
 			maxComplete = complete
 		}
 	}
+	cache.KeepLoads(pfSink)
 	end := cycle
 	if maxComplete > end {
 		end = maxComplete

@@ -62,3 +62,53 @@ func TestCoreStateRejectsShapeMismatch(t *testing.T) {
 		t.Error("restore accepted a wrong-predictor-geometry state")
 	}
 }
+
+// TestCoreStateGoldenFixture pins the CoreState wire format with a
+// checked-in JSON literal from before the Core field reordering, so
+// checkpoints persisted by earlier builds restore bit-exactly into the
+// relaid-out core. The in-memory layout moved (hot cluster first, padding
+// added); the canonical encoding — sorted outstanding table, flattened
+// MSHR ring, base64 predictor tables — must not.
+func TestCoreStateGoldenFixture(t *testing.T) {
+	const fixture = `{"cycle":9,"width_count":1,"fetch_stall":11,"rob_slot":2,"max_complete":15,` +
+		`"completion":[7,9,4,6],` +
+		`"outstanding":[{"line":3,"complete":15},{"line":9,"complete":12}],` +
+		`"mshr_free":[12,15],` +
+		`"bp":{"local":"AAECAw==","global":"AwIBAA==","choice":"AQECAg==","btb":[40,96],"ghr":5,"lookups":31,"mispredicts":4}}`
+
+	cfg := Config{Width: 2, ROB: 4, IQ: 4, LQ: 4, SQ: 4, MispredictPenalty: 5,
+		BP: BPConfig{LocalEntries: 4, GlobalEntries: 4, ChoiceEntries: 4, BTBEntries: 2}}
+	newCore := func() *Core { return NewCore(cfg, nil, NewBranchPred(cfg.BP)) }
+
+	var s CoreState
+	if err := json.Unmarshal([]byte(fixture), &s); err != nil {
+		t.Fatalf("decode fixture: %v", err)
+	}
+	c := newCore()
+	if err := c.SetState(s); err != nil {
+		t.Fatalf("restore fixture: %v", err)
+	}
+
+	// Re-encoding the restored core must reproduce the fixture bytes.
+	got, err := json.Marshal(c.State())
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if string(got) != fixture {
+		t.Fatalf("wire format drifted:\n got  %s\n want %s", got, fixture)
+	}
+
+	// And a second core restored from the re-encoded state must capture
+	// deep-equal — the fork path every checkpoint consumer takes.
+	var s2 CoreState
+	if err := json.Unmarshal(got, &s2); err != nil {
+		t.Fatalf("decode re-encoded: %v", err)
+	}
+	fork := newCore()
+	if err := fork.SetState(s2); err != nil {
+		t.Fatalf("restore re-encoded: %v", err)
+	}
+	if want := c.State(); !reflect.DeepEqual(fork.State(), want) {
+		t.Errorf("forked core state diverged:\n got  %+v\n want %+v", fork.State(), want)
+	}
+}

@@ -64,15 +64,20 @@ type CoRunCell struct {
 }
 
 // CoRunMatrix drives the scenario × LLC-size matrix through the runner
-// engine in two passes: first the size-independent solo profiles (exact
-// histogram, base CPI, penalty fit), one spec per unique app no matter how
-// many mixes or sizes it appears in; then the per-(app, size) calibration
-// completions — which nest the profile spec, so the runner cache, not this
-// driver, is what bounds the profiling work — and the per-(mix, size)
-// co-run simulations. The StatCC fixed point is solved from the
-// calibrations when the matrix lands. Results are deterministic for any
-// engine worker count. Each simulation cell forks its mix's warmed
-// checkpoint (the corun-warm spec) instead of re-running the warm-up.
+// engine as one saturated job list: the size-independent solo profiles
+// (one spec per unique app no matter how many mixes or sizes it appears
+// in), the per-(mix, size) warm checkpoints, the per-(app, size)
+// calibration completions and the per-(mix, size) co-run simulations all
+// enter a single RunMatrix. Dependencies are resolved by the engine's
+// single-flight spec cache, not by driver-level barriers: a calibration
+// nests its app's profile spec and a simulation forks its cell's warm
+// checkpoint, so whichever side reaches a shared spec first computes it
+// and the other joins the in-flight result. Enqueueing the nested specs
+// up front (profiles and warm-ups ahead of their consumers) keeps every
+// worker busy from the first job — the old two-pass shape parked the
+// whole pool at a barrier until the slowest profile finished. The StatCC
+// fixed point is solved from the calibrations when the matrix lands.
+// Results are deterministic for any engine worker count.
 func CoRunMatrix(eng *runner.Engine, scenarios []CoRunScenario, llcPaperSizes []uint64, base warm.Config) []CoRunCell {
 	return CoRunMatrixMode(eng, scenarios, llcPaperSizes, base, false)
 }
@@ -84,28 +89,51 @@ func CoRunMatrix(eng *runner.Engine, scenarios []CoRunScenario, llcPaperSizes []
 // checkpoint. Both paths produce identical cells — the straight flag is
 // an execution hint, invisible to spec keys and artifacts.
 func CoRunMatrixMode(eng *runner.Engine, scenarios []CoRunScenario, llcPaperSizes []uint64, base warm.Config, straight bool) []CoRunCell {
-	// Pass 1: size-independent solo profiles, warmed in parallel so the
-	// calibrations' nested lookups all hit the cache.
+	refsOf := func(sc CoRunScenario) []spec.BenchRef {
+		refs := make([]spec.BenchRef, len(sc.Apps))
+		for i, app := range sc.Apps {
+			refs[i] = spec.Ref(app)
+		}
+		return refs
+	}
+
+	// Size-independent solo profiles, enqueued first so profiling work
+	// starts immediately; the calibrations' nested lookups join these
+	// in-flight computations or hit the cache.
 	seen := make(map[string]bool)
-	var profJobs []runner.Job
+	var jobs []runner.Job
 	for _, sc := range scenarios {
 		for _, app := range sc.Apps {
 			if seen[app.Name] {
 				continue
 			}
 			seen[app.Name] = true
-			profJobs = append(profJobs, spec.Job(spec.CoRunProfileParamsFor(spec.Ref(app), base)))
+			jobs = append(jobs, spec.Job(spec.CoRunProfileParamsFor(spec.Ref(app), base)))
 		}
 	}
-	eng.RunMatrix(profJobs)
 
-	// Pass 2: target-size calibrations and co-run simulations.
+	// Warm checkpoints, one per (mix, size) — a checkpoint's identity
+	// includes the LLC size (the warmed cache state depends on it), so
+	// every size warms its own state and every cell forks the checkpoint
+	// of its own size. Enqueued as top-level jobs so all warm-ups proceed
+	// in parallel with profiling instead of on demand inside each
+	// simulation cell; the straight path runs no checkpoints at all.
+	if !straight {
+		for _, size := range llcPaperSizes {
+			for _, sc := range scenarios {
+				cfg := base
+				cfg.LLCPaperBytes = size
+				jobs = append(jobs, spec.Job(spec.CoRunWarmParams{Mix: sc.Name, Apps: refsOf(sc), Cfg: cfg}))
+			}
+		}
+	}
+
+	// Target-size calibrations and co-run simulations.
 	type calKey struct {
 		app  string
 		size uint64
 	}
 	calIdx := make(map[calKey]int)
-	var jobs []runner.Job
 	for _, size := range llcPaperSizes {
 		for _, sc := range scenarios {
 			for _, app := range sc.Apps {
@@ -125,11 +153,7 @@ func CoRunMatrixMode(eng *runner.Engine, scenarios []CoRunScenario, llcPaperSize
 		for _, sc := range scenarios {
 			cfg := base
 			cfg.LLCPaperBytes = size
-			refs := make([]spec.BenchRef, len(sc.Apps))
-			for i, app := range sc.Apps {
-				refs[i] = spec.Ref(app)
-			}
-			jobs = append(jobs, spec.Job(spec.CoRunSimParams{Mix: sc.Name, Apps: refs, Cfg: cfg, Straight: straight}))
+			jobs = append(jobs, spec.Job(spec.CoRunSimParams{Mix: sc.Name, Apps: refsOf(sc), Cfg: cfg, Straight: straight}))
 		}
 	}
 	results := eng.RunMatrix(jobs)

@@ -110,13 +110,20 @@ type CoRunResult struct {
 	Apps          []AppSim
 }
 
-// coApp is one core's runtime state.
+// coApp is one core's runtime state. cycles and meas are scheduler-hot:
+// the min-cycle scan reads every app's cycles each quantum and the owner
+// updates cycles/meas after each RunBatch. The trailing pad rounds the
+// struct to 128 bytes — a multiple of the host line size that is its own
+// malloc size class — so per-app scratch from two independent CoSims
+// (separate matrix cells on separate host threads) can never share a
+// line, whatever the allocator packs next to it.
 type coApp struct {
 	name   string
 	prog   *workload.Program
 	core   *cpu.Core
 	cycles uint64
 	meas   cpu.Stats
+	_      [8]byte // round to 128 = 2 host lines = own size class
 }
 
 // CoSim interleaves N programs onto private-L1 cores sharing one LLC.
@@ -141,9 +148,13 @@ type CoSim struct {
 func NewCoSim(profs []*workload.Profile, cfg CoSimConfig) *CoSim {
 	hiers := cache.NewSharedHierarchy(cfg.HierConfig(), len(profs))
 	cs := &CoSim{
-		Cfg:    cfg,
-		batch:  make(workload.InstrBatch, 0, cfg.quantum()),
-		warmed: make([]uint64, len(profs)),
+		Cfg:   cfg,
+		batch: make(workload.InstrBatch, 0, cfg.quantum()),
+		// The warm-up quota scratch is written every quantum; rounding its
+		// capacity up to 8 words puts the backing array in the 64-byte malloc
+		// class (one full host line) instead of a shared tiny-object slot, so
+		// concurrent CoSims on other threads cannot false-share it.
+		warmed: make([]uint64, len(profs), (len(profs)+7)&^7),
 	}
 	for i, p := range profs {
 		prog := p.NewProgram(cfg.Scale)

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"time"
 )
 
@@ -30,14 +31,22 @@ const Schema = "delorean-bench/v1"
 // (trace generation, fast-forwarding, model bookkeeping), so ns/access is
 // an end-to-end figure, not a microbenchmark of one function.
 type Measurement struct {
-	Scenario        string  `json:"scenario"`
-	Reps            int     `json:"reps"`
-	Accesses        uint64  `json:"accesses"`
-	WallNs          int64   `json:"wall_ns"`
-	NsPerAccess     float64 `json:"ns_per_access"`
-	AccessesPerSec  float64 `json:"accesses_per_sec"`
-	AllocsPerAccess float64 `json:"allocs_per_access"`
-	BytesPerAccess  float64 `json:"bytes_per_access"`
+	Scenario       string  `json:"scenario"`
+	Reps           int     `json:"reps"`
+	Accesses       uint64  `json:"accesses"`
+	WallNs         int64   `json:"wall_ns"`
+	NsPerAccess    float64 `json:"ns_per_access"`
+	AccessesPerSec float64 `json:"accesses_per_sec"`
+	// NsPerAccessMedian is the median over repetitions of each rep's own
+	// ns/access. The mean above stays the continuity metric (it is what
+	// every historical BENCH_*.json records), but the median is what CI
+	// gates on: one repetition stalled by a slow fsync or a scheduling
+	// hiccup moves the mean of a short run by tens of percent while
+	// leaving the median untouched. Zero in reports written before the
+	// field existed; Compare falls back to the mean then.
+	NsPerAccessMedian float64 `json:"ns_per_access_median,omitempty"`
+	AllocsPerAccess   float64 `json:"allocs_per_access"`
+	BytesPerAccess    float64 `json:"bytes_per_access"`
 }
 
 // Report is the persisted form of one harness run.
@@ -77,16 +86,27 @@ func Run(s Scenario, quick bool, targetDur time.Duration) Measurement {
 	return measureSteps(s.Name, step, targetDur)
 }
 
-// measureSteps runs the steady-state repetitions and aggregates them.
+// measureSteps runs the steady-state repetitions and aggregates them. Each
+// repetition is also timed individually so the measurement carries a
+// median ns/access alongside the aggregate mean; the per-rep clock reads
+// add two time.Now calls per repetition — noise-floor cost next to a
+// multi-millisecond step.
 func measureSteps(name string, step func() uint64, targetDur time.Duration) Measurement {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()
 	var accesses uint64
 	reps := 0
+	var perRep []float64 // each rep's own ns/access
 	for {
-		accesses += step()
+		rt0 := time.Now()
+		n := step()
+		repWall := time.Since(rt0)
+		accesses += n
 		reps++
+		if n > 0 {
+			perRep = append(perRep, float64(repWall.Nanoseconds())/float64(n))
+		}
 		if reps >= 2 && time.Since(t0) >= targetDur {
 			break
 		}
@@ -103,10 +123,24 @@ func measureSteps(name string, step func() uint64, targetDur time.Duration) Meas
 		acc := float64(accesses)
 		m.NsPerAccess = float64(wall.Nanoseconds()) / acc
 		m.AccessesPerSec = acc / wall.Seconds()
+		m.NsPerAccessMedian = median(perRep)
 		m.AllocsPerAccess = float64(after.Mallocs-before.Mallocs) / acc
 		m.BytesPerAccess = float64(after.TotalAlloc-before.TotalAlloc) / acc
 	}
 	return m
+}
+
+// median returns the median of vs (0 when empty). vs is sorted in place.
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
 }
 
 // RunAll measures the given scenarios and assembles a report.
@@ -205,20 +239,28 @@ func (r *Report) Find(name string) (Measurement, bool) {
 }
 
 // Regression is one scenario that got slower than a reference allows.
+// Metric names the figure the gate judged ("median ns/access" when both
+// reports carry per-rep medians, "mean ns/access" otherwise).
 type Regression struct {
 	Scenario string
+	Metric   string
 	RefNs    float64
 	CurNs    float64
 }
 
 func (g Regression) String() string {
-	return fmt.Sprintf("%s: %.1f ns/access vs reference %.1f (%.0f%% slower)",
-		g.Scenario, g.CurNs, g.RefNs, (g.CurNs/g.RefNs-1)*100)
+	return fmt.Sprintf("%s: %.1f %s vs reference %.1f (%.0f%% slower)",
+		g.Scenario, g.CurNs, g.Metric, g.RefNs, (g.CurNs/g.RefNs-1)*100)
 }
 
 // Compare returns the scenarios of cur whose ns/access regressed more than
 // maxRegress (a fraction, e.g. 0.20) relative to ref. Scenarios missing
-// from either side are skipped: the gate only judges common ground.
+// from either side are skipped: the gate only judges common ground. When
+// both sides carry a per-rep median the gate judges the median — one
+// outlier repetition (a slow fsync in the store scenario was the
+// recurring CI trip) shifts a short run's mean but not its median; the
+// mean remains the fallback against reports written before the median
+// field existed.
 func Compare(ref, cur *Report, maxRegress float64) []Regression {
 	var out []Regression
 	for _, c := range cur.Scenarios {
@@ -226,8 +268,12 @@ func Compare(ref, cur *Report, maxRegress float64) []Regression {
 		if !ok || r.NsPerAccess <= 0 {
 			continue
 		}
-		if c.NsPerAccess > r.NsPerAccess*(1+maxRegress) {
-			out = append(out, Regression{Scenario: c.Scenario, RefNs: r.NsPerAccess, CurNs: c.NsPerAccess})
+		refNs, curNs, metric := r.NsPerAccess, c.NsPerAccess, "mean ns/access"
+		if r.NsPerAccessMedian > 0 && c.NsPerAccessMedian > 0 {
+			refNs, curNs, metric = r.NsPerAccessMedian, c.NsPerAccessMedian, "median ns/access"
+		}
+		if curNs > refNs*(1+maxRegress) {
+			out = append(out, Regression{Scenario: c.Scenario, Metric: metric, RefNs: refNs, CurNs: curNs})
 		}
 	}
 	return out

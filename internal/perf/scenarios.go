@@ -9,10 +9,12 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/figures"
 	"repro/internal/lab"
 	"repro/internal/mem"
 	"repro/internal/multiprog"
 	"repro/internal/reuse"
+	"repro/internal/runner"
 	"repro/internal/spec"
 	"repro/internal/stats"
 	"repro/internal/vm"
@@ -22,7 +24,7 @@ import (
 
 // Scenarios returns the standard suite in reporting order.
 func Scenarios() []Scenario {
-	return []Scenario{SoloPipeline(), CorunCell(), CorunCellForked(), DSEFanout(), KeyReuse(), StoreRoundTrip(), LabdLoad()}
+	return []Scenario{SoloPipeline(), CorunCell(), CorunCellForked(), CorunMatrix(), DSEFanout(), KeyReuse(), StoreRoundTrip(), LabdLoad()}
 }
 
 // Named returns the scenarios matching the given names (nil names = all).
@@ -151,6 +153,43 @@ func CorunCellForked() Scenario {
 					n += a.Stats.MemAccesses
 				}
 				return n
+			}, nil
+		},
+	}
+}
+
+// CorunMatrix is the whole co-run figure, end to end: every repetition
+// builds a fresh runner engine (empty cache, no store) and drives
+// figures.CoRunMatrix over the short mix × size grid — solo profiles,
+// warm checkpoints, calibrations, forked simulation cells and the StatCC
+// fixed point, scheduled as one saturated job list on a GOMAXPROCS-wide
+// pool. This is the number a user-facing `figures` run pays for the §4.2
+// table, so the wall-clock of the figure — not of one cell — is what CI
+// tracks; the work unit is one matrix cell, so ns/access reads as ns per
+// cell (comparable across runs of this scenario, not across scenarios).
+// The fresh engine per repetition is deliberate: a warm cache would
+// collapse every repetition after the first into pure cache hits and the
+// scenario would measure map lookups, not the matrix. Unlike the other
+// scenarios, quick mode does NOT shrink the work: the CI gate compares a
+// quick run against the full-mode reference in BENCH_after.json, and a
+// figure's per-cell wall is not linear in Scale (per-region constants and
+// cache floors dominate at high Scale — a Scale-1024 cell measured
+// *slower* than Scale-256), so quick and full must run the identical
+// matrix for the gate's budget to cover host variance only. Quick mode
+// still costs only ~3 repetitions thanks to the duration target.
+func CorunMatrix() Scenario {
+	return Scenario{
+		Name: "corun-matrix",
+		Desc: "whole co-run figure through a saturated runner pool (unit: matrix cells)",
+		Setup: func(quick bool) (func() uint64, func()) {
+			mixes := figures.CoRunMixes(true)
+			sizes := figures.CoRunSizes(true)
+			cfg := warm.DefaultConfig()
+			cfg.Scale = 256
+			return func() uint64 {
+				eng := runner.New(0)
+				cells := figures.CoRunMatrix(eng, mixes, sizes, cfg)
+				return uint64(len(cells))
 			}, nil
 		},
 	}
