@@ -34,6 +34,8 @@ func main() {
 	scenarios := flag.String("scenarios", "", "comma-separated scenario names (default: all)")
 	compare := flag.String("compare", "", "comma-separated reference JSON files; exit 1 on regression")
 	maxRegress := flag.Float64("maxregress", 0.20, "allowed ns/access regression vs -compare references")
+	maxAllocRegress := flag.Float64("maxallocregress", 0,
+		"allowed allocs/access growth vs -compare references, plus 0.5 absolute slack (0 = no alloc gate)")
 	secs := flag.Float64("time", 0, "target seconds per scenario (default 2, quick 0.5)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	cpuprofileEach := flag.String("cpuprofile-per-scenario", "",
@@ -136,6 +138,16 @@ func main() {
 			}
 			if len(regs) == 0 {
 				fmt.Printf("ok: within %.0f%% of %s\n", *maxRegress*100, path)
+			}
+			if *maxAllocRegress > 0 {
+				aregs := perf.CompareAllocs(ref, rep, *maxAllocRegress)
+				for _, g := range aregs {
+					fmt.Fprintf(os.Stderr, "ALLOC REGRESSION vs %s: %s\n", path, g)
+					failed = true
+				}
+				if len(aregs) == 0 {
+					fmt.Printf("ok: allocs/access within %.0f%%+0.5 of %s\n", *maxAllocRegress*100, path)
+				}
 			}
 		}
 		if failed {

@@ -9,6 +9,14 @@
 //
 //	labd [-addr :8080] [-store DIR] [-store-max-mb N] [-workers N]
 //	     [-max-queue N] [-job-ttl D] [-max-jobs N]
+//	     [-self URL -peers URL,URL,...] [-steal-depth N] [-peer-fetch-timeout D]
+//
+// Fleet mode (-self + -peers, DESIGN.md §13): nodes share one static
+// peer list, agree on a rendezvous-hashed owner per spec key (non-owners
+// proxy-wait on the owner, or steal the work when the owner's queue
+// exceeds -steal-depth or the owner is dead), and serve each other's
+// artifacts over an integrity-verified peer fetch tier — a checkpoint
+// warmed anywhere in the fleet is paid for once. Requires -store.
 //
 // API:
 //
@@ -19,7 +27,10 @@
 //	GET    /v1/jobs/{key}/wait  block until the job finishes; disconnecting
 //	                            the last waiter cancels the job
 //	GET    /v1/events[?key=K]   NDJSON stream of experiment completions
-//	GET    /v1/artifacts/{key}  the result payload (JSON)
+//	GET    /v1/artifacts/{key}  the result payload (JSON); ?envelope=1
+//	                            serves the raw envelope (peer fetch path)
+//	GET    /v1/blobs            list stored artifacts (key, kind, size)
+//	GET    /v1/blobs/{key}      raw envelope; PUT/DELETE manage it
 //	GET    /v1/kinds            registered experiment kinds
 //	GET    /v1/status           engine and store statistics
 //	GET    /metrics             Prometheus text exposition
@@ -42,10 +53,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/lab"
+	"repro/internal/runner"
 	"repro/internal/warm"
 )
 
@@ -63,6 +77,11 @@ func main() {
 		jobTTL   = flag.Duration("job-ttl", 0, "how long finished jobs stay in the ledger (0 = default 15m, negative = forever)")
 		maxJobs  = flag.Int("max-jobs", 0, "job ledger cap (0 = default 16384, negative = unbounded)")
 		printCfg = flag.Bool("print-default-cfg", false, "print the default warm.Config as JSON and exit")
+
+		self         = flag.String("self", "", "fleet mode: this node's advertised base URL (must appear in every peer's -peers)")
+		peers        = flag.String("peers", "", "fleet mode: comma-separated peer base URLs")
+		stealDepth   = flag.Int("steal-depth", 0, "owner queue depth above which non-owners steal work (0 = default 4, negative = never)")
+		fetchTimeout = flag.Duration("peer-fetch-timeout", 0, "per-attempt peer artifact fetch timeout (0 = default 5s)")
 	)
 	flag.Parse()
 
@@ -74,12 +93,32 @@ func main() {
 		return
 	}
 
-	eng, store, err := lab.NewEngine(*workers, *storeDir, *storeMax<<20)
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	fleet := lab.FleetConfig{Self: *self, Peers: peerList, StealDepth: *stealDepth}
+	if (len(peerList) > 0) != (*self != "") {
+		fatal(fmt.Errorf("fleet mode needs both -self and -peers"))
+	}
+
+	var (
+		eng   *runner.Engine
+		store *artifact.Store
+		err   error
+	)
+	if fleet.Enabled() {
+		eng, store, err = lab.NewFleetEngine(*workers, *storeDir, *storeMax<<20, peerList, *fetchTimeout)
+	} else {
+		eng, store, err = lab.NewEngine(*workers, *storeDir, *storeMax<<20)
+	}
 	if err != nil {
 		fatal(err)
 	}
 	labSrv := lab.NewServerOpts(eng, store, lab.Options{
-		MaxQueue: *maxQueue, JobTTL: *jobTTL, MaxJobs: *maxJobs,
+		MaxQueue: *maxQueue, JobTTL: *jobTTL, MaxJobs: *maxJobs, Fleet: fleet,
 	})
 	srv := &http.Server{Addr: *addr, Handler: labSrv.Handler()}
 
@@ -95,6 +134,9 @@ func main() {
 	where := "in-memory cache only"
 	if store != nil {
 		where = "store " + store.Dir()
+	}
+	if fleet.Enabled() {
+		where += fmt.Sprintf(", fleet of %d peers", len(peerList))
 	}
 	fmt.Fprintf(os.Stderr, "labd: listening on %s (%s)\n", *addr, where)
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

@@ -5,10 +5,15 @@
 // nonzero exit when a percentile exceeds its bound or any request fails —
 // which is how CI's labload-smoke job keeps the service's latency honest.
 //
+// With a comma-separated -addr list it drives a multi-node fleet:
+// requests round-robin across the nodes and the report adds aggregate
+// throughput plus the fleet-wide counter movement (executions, peer
+// fetches, proxies, steals) scraped from every node's /v1/status.
+//
 // Usage:
 //
-//	labload [-addr localhost:8080] [-n 32] [-clients 4] [-unique 8]
-//	        [-seed N] [-submit-p99-ms MS] [-wait-p99-ms MS] [-json]
+//	labload [-addr localhost:8080[,localhost:8081,...]] [-n 32] [-clients 4]
+//	        [-unique 8] [-seed N] [-submit-p99-ms MS] [-wait-p99-ms MS] [-json]
 package main
 
 import (
@@ -23,7 +28,7 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "localhost:8080", "labd address (host:port or full URL)")
+		addr      = flag.String("addr", "localhost:8080", "labd address(es), comma-separated for a fleet (host:port or full URL)")
 		n         = flag.Int("n", 32, "total submissions")
 		clients   = flag.Int("clients", 4, "concurrent clients")
 		unique    = flag.Int("unique", 0, "distinct specs (0 = n/4); the rest ride the cache/dedup path")
@@ -34,12 +39,18 @@ func main() {
 	)
 	flag.Parse()
 
-	base := *addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	var bases []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		bases = append(bases, a)
 	}
 	rep, err := lab.RunLoad(lab.LoadConfig{
-		BaseURL: base, Requests: *n, Clients: *clients, Unique: *unique, Seed: *seed,
+		BaseURLs: bases, Requests: *n, Clients: *clients, Unique: *unique, Seed: *seed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "labload:", err)
@@ -55,6 +66,11 @@ func main() {
 			rep.Requests, rep.Accepted, rep.CacheHits, rep.Rejected, rep.Failures, rep.ElapsedMs)
 		fmt.Printf("  submit latency: p50 %.2f ms, p99 %.2f ms\n", rep.SubmitP50Ms, rep.SubmitP99Ms)
 		fmt.Printf("  wait latency:   p50 %.2f ms, p99 %.2f ms\n", rep.WaitP50Ms, rep.WaitP99Ms)
+		fmt.Printf("  aggregate: %d node(s), %.0f req/s\n", rep.Nodes, rep.ThroughputRPS)
+		if f := rep.Fleet; f != nil {
+			fmt.Printf("  fleet: %d executions, peer fetch %d hit / %d miss / %d err, %d proxied, %d steals\n",
+				f.Executions, f.PeerFetchHits, f.PeerFetchMisses, f.PeerFetchErrors, f.Proxied, f.Steals)
+		}
 	}
 
 	bad := false

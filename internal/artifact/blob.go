@@ -1,0 +1,185 @@
+// Blob is the raw byte tier under Store: opaque envelope bytes addressed
+// by hex SHA-256 keys. Store owns everything semantic — envelope
+// verification, codecs, LRU accounting — so a backend only has to move
+// bytes, and any S3-style remote can plug in by implementing these five
+// methods. Two backends ship in this package: DiskBlob (the original
+// local-disk layout) and PeerBlob (read-through fetch from other labd
+// nodes over HTTP).
+package artifact
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// BlobInfo describes one stored blob.
+type BlobInfo struct {
+	Key     string
+	Size    int64
+	ModTime time.Time
+}
+
+// Blob stores opaque artifact envelopes by validated hex key. All methods
+// must be safe for concurrent use and must not retain the data slice
+// passed to Put past the call (Store hands it a pooled buffer).
+type Blob interface {
+	// Get returns the blob's bytes, or false if absent/unreadable.
+	Get(key string) ([]byte, bool)
+	// Put stores data under key, replacing any previous blob atomically.
+	Put(key string, data []byte) bool
+	// Stat reports the blob's size (and modification time where the
+	// backend has one) without reading it.
+	Stat(key string) (BlobInfo, bool)
+	// Delete removes the blob; true if it existed.
+	Delete(key string) bool
+	// List enumerates stored blobs in unspecified order.
+	List() []BlobInfo
+}
+
+// PooledGetter is an optional Blob fast path: Get without a per-read
+// allocation. release returns the buffer to its pool; the caller must not
+// retain raw (or anything aliasing it) past that call. DiskBlob
+// implements it; Store uses it when present.
+type PooledGetter interface {
+	GetPooled(key string) (raw []byte, release func(), err error)
+}
+
+// Toucher is an optional Blob extension: refresh a blob's recency stamp
+// so LRU order survives a restart. Backends without durable recency
+// (PeerBlob) simply don't implement it.
+type Toucher interface {
+	Touch(key string)
+}
+
+// DiskBlob is the local-disk backend: one file per artifact at
+// dir/<key[:2]>/<key>.json, written via temp-file + rename so a crashed
+// writer can leave stale temp files but never a half-written blob under a
+// valid name.
+type DiskBlob struct {
+	dir string
+}
+
+// NewDiskBlob opens (creating if needed) a disk backend rooted at dir.
+func NewDiskBlob(dir string) (*DiskBlob, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DiskBlob{dir: dir}, nil
+}
+
+// Dir returns the backend's root directory.
+func (b *DiskBlob) Dir() string { return b.dir }
+
+func (b *DiskBlob) path(key string) string {
+	// Single-allocation concatenation; filepath.Join's cleaning pass costs
+	// several allocations per call and nothing here needs cleaning (dir is
+	// fixed, keys are validated hex).
+	return b.dir + string(filepath.Separator) + key[:2] + string(filepath.Separator) + key + ".json"
+}
+
+// Get reads the whole blob. Callers on the hot path use GetPooled.
+func (b *DiskBlob) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	raw, err := os.ReadFile(b.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return raw, true
+}
+
+// GetPooled reads the blob into a pooled buffer (see PooledGetter).
+func (b *DiskBlob) GetPooled(key string) ([]byte, func(), error) {
+	if !validKey(key) {
+		return nil, nil, fs.ErrNotExist
+	}
+	return readPooled(b.path(key))
+}
+
+// Put writes data under key via temp-file + rename. Failures read as
+// false: the store is a cache and the caller still holds the value.
+func (b *DiskBlob) Put(key string, data []byte) bool {
+	if !validKey(key) {
+		return false
+	}
+	path := b.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return false
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*.json")
+	if err != nil {
+		return false
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), path) != nil {
+		os.Remove(tmp.Name())
+		return false
+	}
+	return true
+}
+
+// Stat reports the blob's size and mtime without reading it.
+func (b *DiskBlob) Stat(key string) (BlobInfo, bool) {
+	if !validKey(key) {
+		return BlobInfo{}, false
+	}
+	info, err := os.Stat(b.path(key))
+	if err != nil {
+		return BlobInfo{}, false
+	}
+	return BlobInfo{Key: key, Size: info.Size(), ModTime: info.ModTime()}, true
+}
+
+// Delete removes the blob; true if it existed.
+func (b *DiskBlob) Delete(key string) bool {
+	if !validKey(key) {
+		return false
+	}
+	return os.Remove(b.path(key)) == nil
+}
+
+// List scans the directory for valid-key blobs, cleaning up stray temp
+// files from crashed writers as it goes. Foreign files are never indexed
+// and never deleted.
+func (b *DiskBlob) List() []BlobInfo {
+	var all []BlobInfo
+	_ = filepath.WalkDir(b.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return nil //nolint:nilerr // unreadable entries are simply not indexed
+		}
+		if strings.HasPrefix(d.Name(), "tmp-") {
+			// A writer crashed between CreateTemp and rename; the stray
+			// temp file is not an artifact and must not enter the index
+			// (its key would not map back to its path, corrupting the
+			// byte accounting on eviction).
+			_ = os.Remove(path)
+			return nil
+		}
+		key := d.Name()[:len(d.Name())-len(".json")]
+		if !validKey(key) {
+			return nil // foreign file: never index, never delete
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return nil
+		}
+		all = append(all, BlobInfo{Key: key, Size: info.Size(), ModTime: info.ModTime()})
+		return nil
+	})
+	return all
+}
+
+// Touch bumps the blob's file mtime (an LRU recency hint for the next
+// Open) so the LRU order survives restarts.
+func (b *DiskBlob) Touch(key string) {
+	if !validKey(key) {
+		return
+	}
+	now := time.Now()
+	_ = os.Chtimes(b.path(key), now, now)
+}

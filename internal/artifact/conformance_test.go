@@ -1,0 +1,260 @@
+package artifact_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/lab"
+)
+
+// The blob conformance suite: every artifact.Blob backend must satisfy the
+// same contract, because artifact.Store layers its semantics (codecs, LRU,
+// integrity) on top of whichever backend it is given. The table runs the
+// identical assertions against the local-disk backend and the peer-HTTP
+// backend (served by a real lab.Server over its own disk store — the same
+// wire path a fleet node uses).
+type confBackend struct {
+	name string
+	// open returns the blob under test and the authoritative on-disk
+	// directory behind it (where the corruption tests flip bytes: the blob
+	// dir for disk, the serving node's store dir for peer).
+	open func(t *testing.T) (artifact.Blob, string)
+}
+
+func confBackends() []confBackend {
+	return []confBackend{
+		{name: "disk", open: func(t *testing.T) (artifact.Blob, string) {
+			dir := t.TempDir()
+			b, err := artifact.NewDiskBlob(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b, dir
+		}},
+		{name: "peer", open: func(t *testing.T) (artifact.Blob, string) {
+			dir := t.TempDir()
+			srvStore, err := artifact.Open(dir, 0, codecs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, _, err := lab.NewEngine(1, "", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(lab.NewServer(eng, srvStore).Handler())
+			t.Cleanup(ts.Close)
+			return artifact.NewPeerBlob([]string{ts.URL}, artifact.PeerOptions{
+				Timeout: 5 * time.Second, RetryBackoff: time.Millisecond,
+			}), dir
+		}},
+	}
+}
+
+// makeEnvelope produces valid envelope bytes for key through a scratch
+// store — the peer backend's serving side re-verifies on PUT, so blob
+// conformance data must be real envelopes, not arbitrary bytes.
+func makeEnvelope(t *testing.T, k, name string) []byte {
+	t.Helper()
+	st, err := artifact.Open(t.TempDir(), 0, codecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Save("test", k, payload{Name: name, Pad: strings.Repeat("p", 128)})
+	raw, _, ok := st.Envelope(k)
+	if !ok {
+		t.Fatal("envelope missing after save")
+	}
+	return raw
+}
+
+// corruptOnDisk flips a byte inside key's stored payload under dir,
+// keeping the JSON valid but breaking the SHA-256 gate.
+func corruptOnDisk(t *testing.T, dir, k string) {
+	t.Helper()
+	var file string
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.Contains(p, k) {
+			file = p
+		}
+		return nil
+	})
+	if file == "" {
+		t.Fatalf("no artifact file for %s under %s", k, dir)
+	}
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(raw, []byte("ppp"), []byte("pqp"), 1)
+	if bytes.Equal(tampered, raw) {
+		t.Fatal("corruption marker not found in envelope")
+	}
+	if err := os.WriteFile(file, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlobConformance: the raw Blob contract — Put/Get/Stat/List/Delete
+// over opaque keys — holds identically for both backends.
+func TestBlobConformance(t *testing.T) {
+	for _, be := range confBackends() {
+		t.Run(be.name, func(t *testing.T) {
+			b, _ := be.open(t)
+			k := key("ab")
+			env := makeEnvelope(t, k, "conform")
+
+			if !b.Put(k, env) {
+				t.Fatal("Put rejected a valid envelope")
+			}
+			got, ok := b.Get(k)
+			if !ok || !bytes.Equal(got, env) {
+				t.Fatalf("Get after Put: ok=%v, bytes match=%v", ok, bytes.Equal(got, env))
+			}
+			info, ok := b.Stat(k)
+			if !ok || info.Size != int64(len(env)) {
+				t.Errorf("Stat = %+v ok=%v, want size %d", info, ok, len(env))
+			}
+			var listed bool
+			for _, li := range b.List() {
+				if li.Key == k {
+					listed = true
+					if li.Size != int64(len(env)) {
+						t.Errorf("List size = %d, want %d", li.Size, len(env))
+					}
+				}
+			}
+			if !listed {
+				t.Error("List does not include the stored key")
+			}
+
+			if _, ok := b.Get(key("cd")); ok {
+				t.Error("Get of an absent key reported present")
+			}
+			if !b.Delete(k) {
+				t.Error("Delete of a present key reported absent")
+			}
+			if _, ok := b.Get(k); ok {
+				t.Error("Get served a deleted blob")
+			}
+			if _, ok := b.Stat(k); ok {
+				t.Error("Stat found a deleted blob")
+			}
+			if b.Delete(k) {
+				t.Error("second Delete reported present")
+			}
+		})
+	}
+}
+
+// TestStoreConformance: a Store composed over either backend preserves
+// the store semantics — round-trip, corruption reads as a miss and heals,
+// LRU eviction order, and safety under concurrent Put/Get.
+func TestStoreConformance(t *testing.T) {
+	for _, be := range confBackends() {
+		t.Run(be.name+"/round-trip", func(t *testing.T) {
+			b, _ := be.open(t)
+			st, err := artifact.OpenBlob(b, 0, codecs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.Save("test", key("aa"), payload{Name: "rt", Vals: []int64{1, 2, 3}})
+			got, ok := st.Load("test", key("aa"))
+			if !ok || got.(payload).Name != "rt" {
+				t.Fatalf("round-trip through %s backend: %v %v", be.name, got, ok)
+			}
+			if _, ok := st.Load("test", key("bb")); ok {
+				t.Error("absent key reported present")
+			}
+		})
+
+		t.Run(be.name+"/corruption-miss", func(t *testing.T) {
+			b, dir := be.open(t)
+			st, err := artifact.OpenBlob(b, 0, codecs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.Save("test", key("aa"), payload{Name: "c", Pad: strings.Repeat("p", 256)})
+			corruptOnDisk(t, dir, key("aa"))
+			if _, ok := st.Load("test", key("aa")); ok {
+				t.Fatal("hash-mismatched artifact served")
+			}
+			// Recompute path: a fresh Save replaces the corpse.
+			st.Save("test", key("aa"), payload{Name: "healed"})
+			if got, ok := st.Load("test", key("aa")); !ok || got.(payload).Name != "healed" {
+				t.Error("store unusable after corruption recovery")
+			}
+		})
+
+		t.Run(be.name+"/eviction-order", func(t *testing.T) {
+			// Size the budget from a real envelope so exactly two artifacts
+			// fit; the least-recently-touched of the first two must go.
+			scratch, err := artifact.Open(t.TempDir(), 0, codecs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pad := strings.Repeat("p", 128)
+			scratch.Save("test", key("aa"), payload{Name: "x", Pad: pad})
+			one := scratch.Stats().Bytes
+			if one <= 0 {
+				t.Fatal("scratch save recorded no bytes")
+			}
+
+			b, _ := be.open(t)
+			st, err := artifact.OpenBlob(b, 2*one+one/2, codecs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.Save("test", key("aa"), payload{Name: "x", Pad: pad})
+			st.Save("test", key("bb"), payload{Name: "x", Pad: pad})
+			if _, ok := st.Load("test", key("aa")); !ok { // touch aa: bb becomes LRU
+				t.Fatal("aa missing before eviction")
+			}
+			st.Save("test", key("cc"), payload{Name: "x", Pad: pad})
+
+			if _, ok := st.Load("test", key("bb")); ok {
+				t.Error("LRU artifact bb survived eviction")
+			}
+			if _, ok := b.Stat(key("bb")); ok {
+				t.Errorf("%s backend still holds evicted blob", be.name)
+			}
+			for _, k := range []string{key("aa"), key("cc")} {
+				if _, ok := st.Load("test", k); !ok {
+					t.Errorf("recently-used artifact %s evicted", k[:2])
+				}
+			}
+		})
+
+		t.Run(be.name+"/concurrent", func(t *testing.T) {
+			b, _ := be.open(t)
+			st, err := artifact.OpenBlob(b, 0, codecs())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 16; i++ {
+						k := key(fmt.Sprintf("ab%02d", i%4))
+						want := fmt.Sprintf("v%d", i%4)
+						if (w+i)%2 == 0 {
+							st.Save("test", k, payload{Name: want})
+						} else if got, ok := st.Load("test", k); ok && got.(payload).Name != want {
+							t.Errorf("concurrent read of %s: got %q, want %q", k[:4], got.(payload).Name, want)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,278 @@
+package artifact
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// PeerBlob is the peer-HTTP Blob backend: it reads artifact envelopes
+// from other labd nodes over GET /v1/artifacts/{key}?envelope=1 and
+// speaks the /v1/blobs surface for the rest of the contract. Every fetch
+// is integrity re-verified on receipt (CheckEnvelope: schema, key match,
+// payload SHA-256) before the bytes are trusted — a compromised or
+// bit-rotted peer reads as a miss, never as wrong data.
+//
+// Failure policy (a dead peer must never fail a job): each attempt is
+// bounded by Timeout; a transport error gets exactly one retry after a
+// jittered backoff (riding out a node mid-restart); anything else fails
+// over to the next peer, and exhausting the list is a plain miss — the
+// caller recomputes locally.
+type PeerBlob struct {
+	peers  []string // normalized base URLs, e.g. "http://10.0.0.2:8321"
+	client *http.Client
+	opt    PeerOptions
+
+	hits, misses, errors atomic.Uint64
+}
+
+// PeerOptions tunes a PeerBlob.
+type PeerOptions struct {
+	// Timeout bounds each HTTP attempt. Default 5s.
+	Timeout time.Duration
+	// RetryBackoff is the base delay before the single retry; the actual
+	// delay adds up to 100% jitter so a fleet that lost a node doesn't
+	// retry in lockstep. Default 50ms.
+	RetryBackoff time.Duration
+	// Client overrides the HTTP client (tests). Default: a dedicated
+	// client with keep-alives, so repeated peer fetches reuse connections.
+	Client *http.Client
+}
+
+// PeerStats is a snapshot of the peer tier's fetch counters; lab.Server
+// surfaces it under "fleet" on /v1/status and as labd_peer_fetch_* on
+// /metrics.
+type PeerStats struct {
+	Peers  []string `json:"peers"`
+	Hits   uint64   `json:"hits"`
+	Misses uint64   `json:"misses"`
+	Errors uint64   `json:"errors"`
+}
+
+// NewPeerBlob builds a peer backend over the given base URLs (scheme
+// optional; "host:port" becomes "http://host:port").
+func NewPeerBlob(peers []string, opt PeerOptions) *PeerBlob {
+	if opt.Timeout <= 0 {
+		opt.Timeout = 5 * time.Second
+	}
+	if opt.RetryBackoff <= 0 {
+		opt.RetryBackoff = 50 * time.Millisecond
+	}
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	norm := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p = NormalizePeerURL(p); p != "" {
+			norm = append(norm, p)
+		}
+	}
+	return &PeerBlob{peers: norm, client: client, opt: opt}
+}
+
+// NormalizePeerURL canonicalizes a peer address: default scheme http,
+// no trailing slash. Empty input stays empty.
+func NormalizePeerURL(p string) string {
+	for len(p) > 0 && p[len(p)-1] == '/' {
+		p = p[:len(p)-1]
+	}
+	if p == "" {
+		return ""
+	}
+	if !hasScheme(p) {
+		p = "http://" + p
+	}
+	return p
+}
+
+func hasScheme(p string) bool {
+	for i := 0; i < len(p); i++ {
+		switch p[i] {
+		case ':':
+			return i+2 < len(p) && p[i+1] == '/' && p[i+2] == '/'
+		case '/', '.':
+			return false
+		}
+	}
+	return false
+}
+
+// PeerURLs returns the normalized peer list.
+func (p *PeerBlob) PeerURLs() []string { return p.peers }
+
+// Stats returns a snapshot of the fetch counters.
+func (p *PeerBlob) Stats() PeerStats {
+	return PeerStats{
+		Peers:  p.peers,
+		Hits:   p.hits.Load(),
+		Misses: p.misses.Load(),
+		Errors: p.errors.Load(),
+	}
+}
+
+// Get fetches key's envelope from the first peer that has it, verifying
+// integrity on receipt. A peer that errors (transport, non-2xx other than
+// 404, failed verification) counts toward Errors and is skipped; a clean
+// 404 just moves on. Exhausting the list counts one miss.
+func (p *PeerBlob) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	for _, peer := range p.peers {
+		raw, status, err := p.fetch(peer, key)
+		if err != nil {
+			p.errors.Add(1)
+			continue
+		}
+		if status == http.StatusNotFound {
+			continue
+		}
+		if status != http.StatusOK {
+			p.errors.Add(1)
+			continue
+		}
+		if _, _, err := CheckEnvelope(key, raw); err != nil {
+			// The peer served bytes that fail the integrity gate: never
+			// trust them, never persist them.
+			p.errors.Add(1)
+			continue
+		}
+		p.hits.Add(1)
+		return raw, true
+	}
+	p.misses.Add(1)
+	return nil, false
+}
+
+// fetch GETs one peer's envelope with the timeout/retry policy: a
+// transport error (connection refused, timeout) earns exactly one retry
+// after a jittered backoff; HTTP-level failures don't — the peer is up
+// and has given its answer.
+func (p *PeerBlob) fetch(peer, key string) ([]byte, int, error) {
+	url := peer + "/v1/artifacts/" + key + "?envelope=1"
+	raw, status, err := p.do(http.MethodGet, url, nil)
+	if err != nil {
+		time.Sleep(p.backoff())
+		raw, status, err = p.do(http.MethodGet, url, nil)
+	}
+	return raw, status, err
+}
+
+func (p *PeerBlob) backoff() time.Duration {
+	base := p.opt.RetryBackoff
+	return base + time.Duration(rand.Int63n(int64(base)+1))
+}
+
+func (p *PeerBlob) do(method, url string, body []byte) ([]byte, int, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.opt.Timeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return raw, resp.StatusCode, nil
+}
+
+// Put pushes the envelope to the first peer that accepts it
+// (PUT /v1/blobs/{key}); the remote side re-verifies before storing.
+func (p *PeerBlob) Put(key string, data []byte) bool {
+	if !validKey(key) {
+		return false
+	}
+	for _, peer := range p.peers {
+		_, status, err := p.do(http.MethodPut, peer+"/v1/blobs/"+key, data)
+		if err == nil && status/100 == 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Stat HEADs /v1/blobs/{key} across the peers.
+func (p *PeerBlob) Stat(key string) (BlobInfo, bool) {
+	if !validKey(key) {
+		return BlobInfo{}, false
+	}
+	for _, peer := range p.peers {
+		req, err := http.NewRequest(http.MethodHead, peer+"/v1/blobs/"+key, nil)
+		if err != nil {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), p.opt.Timeout)
+		resp, err := p.client.Do(req.WithContext(ctx))
+		if err != nil {
+			cancel()
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		cancel()
+		if resp.StatusCode == http.StatusOK {
+			return BlobInfo{Key: key, Size: resp.ContentLength}, true
+		}
+	}
+	return BlobInfo{}, false
+}
+
+// Delete issues DELETE /v1/blobs/{key} to every peer; true if any of
+// them had the blob.
+func (p *PeerBlob) Delete(key string) bool {
+	if !validKey(key) {
+		return false
+	}
+	any := false
+	for _, peer := range p.peers {
+		_, status, err := p.do(http.MethodDelete, peer+"/v1/blobs/"+key, nil)
+		if err == nil && status/100 == 2 {
+			any = true
+		}
+	}
+	return any
+}
+
+// List merges GET /v1/blobs across the peers, deduplicated by key and
+// sorted for a deterministic index order in OpenBlob.
+func (p *PeerBlob) List() []BlobInfo {
+	seen := make(map[string]BlobInfo)
+	for _, peer := range p.peers {
+		raw, status, err := p.do(http.MethodGet, peer+"/v1/blobs", nil)
+		if err != nil || status != http.StatusOK {
+			continue
+		}
+		var keys []KeyInfo
+		if json.Unmarshal(raw, &keys) != nil {
+			continue
+		}
+		for _, k := range keys {
+			if _, dup := seen[k.Key]; !dup && validKey(k.Key) {
+				seen[k.Key] = BlobInfo{Key: k.Key, Size: k.Size}
+			}
+		}
+	}
+	out := make([]BlobInfo, 0, len(seen))
+	for _, v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,16 +1,22 @@
 // Package artifact is the persistent tier of the experiment cache: a
-// content-addressed on-disk store of experiment results, keyed by the
-// spec's canonical SHA-256 (internal/spec) and written as versioned JSON
+// content-addressed store of experiment results, keyed by the spec's
+// canonical SHA-256 (internal/spec) and written as versioned JSON
 // envelopes. It is what turns the runner's in-process result cache into a
 // durable one — a second run of `figures` or `dse` against a warm store
 // executes zero experiments, and the lab service serves artifacts across
 // process restarts.
 //
+// Store layers the semantics — envelope verification, codecs, LRU byte
+// accounting — over a pluggable Blob byte tier (blob.go): local disk
+// today, peer-HTTP fetch from other labd nodes (peer.go) as a
+// read-through fallback, any S3-style backend by implementing Blob.
+//
 // Properties the rest of the system relies on:
 //
 //   - integrity: every envelope records the SHA-256 of its payload; a
 //     mismatch (bit rot, torn write that survived rename) reads as a miss,
-//     never as silently wrong data;
+//     never as silently wrong data — and the same gate is re-applied to
+//     envelopes fetched from peers before they are trusted or persisted;
 //   - atomic writes: payloads land via temp-file + rename, so a crashed
 //     writer can leave stale temp files but never a half-written artifact
 //     under a valid name;
@@ -30,16 +36,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
-	"io/fs"
 	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
-	"time"
 )
 
 // Schema identifies the envelope layout; bump on incompatible change.
@@ -54,7 +57,7 @@ type Codec struct {
 	Decode  func(b []byte) (any, error)
 }
 
-// envelope is the on-disk form of one artifact.
+// envelope is the stored form of one artifact.
 type envelope struct {
 	Schema       string          `json:"schema"`
 	Kind         string          `json:"kind"`
@@ -80,17 +83,29 @@ type Stats struct {
 	// Corrupt counts integrity failures: unreadable, unparsable,
 	// wrong-kind, wrong-version or hash-mismatched artifacts (each also a
 	// LoadMiss, each deleted best-effort and recomputed).
-	Corrupt   uint64 `json:"corrupt"`
+	Corrupt uint64 `json:"corrupt"`
+	// PeerHits counts loads that missed the local blob and were served by
+	// fetching a verified envelope from a fleet peer (each also a Hit).
+	PeerHits  uint64 `json:"peer_hits"`
 	Artifacts int    `json:"artifacts"`
 	Bytes     int64  `json:"bytes"`
 	MaxBytes  int64  `json:"max_bytes"`
 }
 
-// Store is a content-addressed artifact store rooted at one directory.
+// KeyInfo describes one indexed artifact (GET /v1/blobs). Kind may be
+// empty for artifacts indexed from disk at Open but never yet loaded.
+type KeyInfo struct {
+	Key  string `json:"key"`
+	Kind string `json:"kind,omitempty"`
+	Size int64  `json:"size"`
+}
+
+// Store is a content-addressed artifact store over one Blob backend.
 // All methods are safe for concurrent use. It implements runner.Store.
 type Store struct {
-	dir      string
-	maxBytes int64 // <= 0: unbounded
+	blob     Blob
+	peers    *PeerBlob // optional read-through fallback tier; nil = none
+	maxBytes int64     // <= 0: unbounded
 	codecs   map[string]Codec
 
 	mu    sync.Mutex
@@ -98,7 +113,7 @@ type Store struct {
 	total int64
 	tick  uint64
 
-	loads, loadMisses, saves, evictions, corrupt uint64
+	loads, loadMisses, saves, evictions, corrupt, peerHits uint64
 }
 
 type entry struct {
@@ -107,70 +122,61 @@ type entry struct {
 	used uint64 // recency tick; larger = more recent
 }
 
-// Open opens (creating if needed) a store rooted at dir with the given
-// byte budget (<= 0: unbounded) and per-kind codecs. Existing artifacts
-// are indexed by scanning the directory; their recency order is recovered
-// from file modification times, which Load refreshes.
+// Open opens (creating if needed) a disk-backed store rooted at dir with
+// the given byte budget (<= 0: unbounded) and per-kind codecs. It is
+// OpenBlob over NewDiskBlob — the signature every existing call site
+// uses.
 func Open(dir string, maxBytes int64, codecs map[string]Codec) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	s := &Store{dir: dir, maxBytes: maxBytes, codecs: codecs, index: make(map[string]*entry)}
-
-	type found struct {
-		key  string
-		ent  *entry
-		mtim time.Time
-	}
-	var all []found
-	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
-			return nil //nolint:nilerr // unreadable entries are simply not indexed
-		}
-		key := d.Name()[:len(d.Name())-len(".json")]
-		if strings.HasPrefix(d.Name(), "tmp-") {
-			// A writer crashed between CreateTemp and rename; the stray
-			// temp file is not an artifact and must not enter the index
-			// (its key would not map back to its path, corrupting the
-			// byte accounting on eviction).
-			_ = os.Remove(path)
-			return nil
-		}
-		if !validKey(key) {
-			return nil // foreign file: never index, never delete
-		}
-		info, ierr := d.Info()
-		if ierr != nil {
-			return nil
-		}
-		all = append(all, found{key: key, ent: &entry{size: info.Size()}, mtim: info.ModTime()})
-		return nil
-	})
+	b, err := NewDiskBlob(dir)
 	if err != nil {
 		return nil, err
 	}
+	return OpenBlob(b, maxBytes, codecs)
+}
+
+// OpenBlob opens a store over an arbitrary Blob backend. Existing blobs
+// are indexed via List; their recency order is recovered from the
+// backend's modification times, which Load refreshes where the backend
+// supports it.
+func OpenBlob(b Blob, maxBytes int64, codecs map[string]Codec) (*Store, error) {
+	s := &Store{blob: b, maxBytes: maxBytes, codecs: codecs, index: make(map[string]*entry)}
+	all := b.List()
 	// Recency recovers from mtimes, which on coarse-grained filesystems
 	// (or artifacts written in the same instant) collide; break ties by
 	// key so the recovered LRU order — and therefore which artifacts a
 	// bounded store evicts first after a restart — is deterministic
-	// instead of directory-iteration order.
+	// instead of enumeration order.
 	sort.Slice(all, func(i, j int) bool {
-		if !all[i].mtim.Equal(all[j].mtim) {
-			return all[i].mtim.Before(all[j].mtim)
+		if !all[i].ModTime.Equal(all[j].ModTime) {
+			return all[i].ModTime.Before(all[j].ModTime)
 		}
-		return all[i].key < all[j].key
+		return all[i].Key < all[j].Key
 	})
 	for _, f := range all {
 		s.tick++
-		f.ent.used = s.tick
-		s.index[f.key] = f.ent
-		s.total += f.ent.size
+		s.index[f.Key] = &entry{size: f.Size, used: s.tick}
+		s.total += f.Size
 	}
 	return s, nil
 }
 
-// Dir returns the store's root directory.
-func (s *Store) Dir() string { return s.dir }
+// AttachPeers installs a peer-fetch fallback tier: a Load that misses
+// both the runner's memory cache and the local blob is retried against
+// the fleet before the caller recomputes, and a fetched envelope is
+// persisted locally (read-through) so the next load — and this node's own
+// peers — are served from disk. Attach before the store is shared.
+func (s *Store) AttachPeers(p *PeerBlob) { s.peers = p }
+
+// Peers returns the attached peer tier, or nil.
+func (s *Store) Peers() *PeerBlob { return s.peers }
+
+// Dir returns the root directory for disk-backed stores, "" otherwise.
+func (s *Store) Dir() string {
+	if d, ok := s.blob.(*DiskBlob); ok {
+		return d.Dir()
+	}
+	return ""
+}
 
 // Stats returns a snapshot of the operation counters.
 func (s *Store) Stats() Stats {
@@ -178,7 +184,7 @@ func (s *Store) Stats() Stats {
 	defer s.mu.Unlock()
 	return Stats{Loads: s.loads, LoadMisses: s.loadMisses,
 		Hits: s.loads - s.loadMisses, Saves: s.saves,
-		Evictions: s.evictions, Corrupt: s.corrupt,
+		Evictions: s.evictions, Corrupt: s.corrupt, PeerHits: s.peerHits,
 		Artifacts: len(s.index), Bytes: s.total, MaxBytes: s.maxBytes}
 }
 
@@ -207,36 +213,51 @@ var encodePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 var readPool = sync.Pool{New: func() any { return new([]byte) }}
 
-func (s *Store) path(key string) string {
-	// Single-allocation concatenation; filepath.Join's cleaning pass costs
-	// several allocations per call and nothing here needs cleaning (dir is
-	// fixed, keys are validated hex).
-	return s.dir + string(filepath.Separator) + key[:2] + string(filepath.Separator) + key + ".json"
+var errNotFound = errors.New("artifact: blob not found")
+
+// blobGet reads key from the backend, preferring the pooled fast path.
+// The returned release is always non-nil on success.
+func (s *Store) blobGet(key string) (raw []byte, release func(), err error) {
+	if pg, ok := s.blob.(PooledGetter); ok {
+		return pg.GetPooled(key)
+	}
+	raw, found := s.blob.Get(key)
+	if !found {
+		return nil, nil, errNotFound
+	}
+	return raw, func() {}, nil
+}
+
+// blobTouch refreshes a loaded artifact's recency stamp on backends that
+// persist one (outside the store lock — it is only an LRU hint for the
+// next Open).
+func (s *Store) blobTouch(key string) {
+	if t, ok := s.blob.(Toucher); ok {
+		t.Touch(key)
+	}
 }
 
 // Load returns the decoded artifact for (kind, key), or a miss. It never
 // errors: absent, corrupt and incompatible artifacts all read as misses
 // (corrupt ones are deleted best-effort so they are recomputed once, not
-// re-probed forever). File reads and decoding run outside the store lock
-// so a warm run's concurrent loads don't serialize on it.
+// re-probed forever). A local miss falls through to the peer tier when
+// one is attached. Blob reads and decoding run outside the store lock so
+// a warm run's concurrent loads don't serialize on it.
 func (s *Store) Load(kind, key string) (any, bool) {
 	codec, hasCodec := s.codecs[kind] // codecs map is immutable after Open
 	if !hasCodec || !validKey(key) {
 		s.miss(false)
 		return nil, false
 	}
-	path := s.path(key)
-	raw, release, err := readPooled(path)
+	raw, release, err := s.blobGet(key)
 	if err != nil {
-		// The file is gone (evicted by a racing Save, or deleted
+		// The blob is gone (evicted by a racing Save, or deleted
 		// externally): reconcile the index so its bytes stop counting
-		// toward the budget.
+		// toward the budget, then try the fleet.
 		s.mu.Lock()
-		s.loads++
-		s.loadMisses++
-		s.dropLocked(key, path)
+		s.dropLocked(key)
 		s.mu.Unlock()
-		return nil, false
+		return s.loadFromPeers(kind, key, codec, false)
 	}
 	val, err := decodeEnvelope(raw, kind, key, codec)
 	size := int64(len(raw))
@@ -246,18 +267,54 @@ func (s *Store) Load(kind, key string) (any, bool) {
 	release()
 
 	s.mu.Lock()
-	s.loads++
 	if err != nil {
 		s.corrupt++
-		s.loadMisses++
-		s.dropLocked(key, path)
+		s.dropLocked(key)
 		s.mu.Unlock()
-		return nil, false
+		// The local copy was corrupt and has been dropped; a peer may
+		// still hold a good one.
+		return s.loadFromPeers(kind, key, codec, true)
 	}
+	s.loads++
 	s.touchLocked(key, size, kind)
 	s.mu.Unlock()
-	refreshMtime(path)
+	s.blobTouch(key)
 	return val, true
+}
+
+// loadFromPeers finishes a Load whose local blob missed: fetch an
+// integrity-verified envelope from the fleet, persist it locally
+// (read-through), decode and serve it. Exactly one load (and at most one
+// miss) is counted per Load call, whichever branch finishes it.
+// corrupted reports whether the local miss was an integrity failure
+// (already counted).
+func (s *Store) loadFromPeers(kind, key string, codec Codec, corrupted bool) (any, bool) {
+	if s.peers != nil {
+		if raw, ok := s.peers.Get(key); ok {
+			// PeerBlob verified schema/key/payload-hash; the kind and
+			// codec-version gates are ours. A mismatch (version skew
+			// across the fleet) is a plain miss — the peer's copy may be
+			// valid for a newer deployment and is left alone.
+			if val, err := decodeEnvelope(raw, kind, key, codec); err == nil {
+				persisted := s.blob.Put(key, raw)
+				s.mu.Lock()
+				s.loads++
+				s.peerHits++
+				if persisted {
+					s.touchLocked(key, int64(len(raw)), kind)
+					s.evictLocked(key)
+				}
+				s.mu.Unlock()
+				return val, true
+			}
+		}
+	}
+	s.mu.Lock()
+	s.loads++
+	s.loadMisses++
+	_ = corrupted // corrupt counter was bumped when the local copy was dropped
+	s.mu.Unlock()
+	return nil, false
 }
 
 // readPooled reads the whole file into a pooled buffer. release returns
@@ -288,7 +345,7 @@ func readPooled(path string) (raw []byte, release func(), err error) {
 	return b, func() { *bp = b; readPool.Put(bp) }, nil
 }
 
-// miss records a load that never reached a file.
+// miss records a load that never reached a blob.
 func (s *Store) miss(corrupt bool) {
 	s.mu.Lock()
 	s.loads++
@@ -307,14 +364,15 @@ func (s *Store) miss(corrupt bool) {
 // version must not be handed to clients as current, so a version mismatch
 // reads as corrupt (dropped, recomputed). An envelope whose kind has no
 // registered codec is merely a miss — the artifact may belong to a newer
-// deployment and is left alone.
+// deployment and is left alone. Raw serves the local blob only: it is the
+// peer-facing read path, and consulting peers here would let two nodes
+// ping-pong a fetch between each other.
 func (s *Store) Raw(key string) (payload []byte, kind string, ok bool) {
 	if !validKey(key) {
 		return nil, "", false
 	}
-	path := s.path(key)
-	raw, err := os.ReadFile(path)
-	if err != nil {
+	raw, found := s.blob.Get(key)
+	if !found {
 		return nil, "", false
 	}
 	var env envelope
@@ -329,14 +387,134 @@ func (s *Store) Raw(key string) (payload []byte, kind string, ok bool) {
 	s.mu.Lock()
 	if badEnv {
 		s.corrupt++
-		s.dropLocked(key, path)
+		s.dropLocked(key)
 		s.mu.Unlock()
 		return nil, "", false
 	}
 	s.touchLocked(key, int64(len(raw)), env.Kind)
 	s.mu.Unlock()
-	refreshMtime(path)
+	s.blobTouch(key)
 	return env.Payload, env.Kind, true
+}
+
+// Envelope returns the verified raw envelope bytes for key plus the
+// artifact's kind: the serving side of the peer protocol
+// (GET /v1/artifacts/{key}?envelope=1). Unlike Raw it does not require a
+// registered codec or version match — the receiving node applies its own
+// kind/version gate — so a node can relay artifacts written by a newer
+// deployment. Schema, key and payload hash are still verified; a failure
+// reads as corrupt (dropped) exactly like a local load would. Local blob
+// only, for the same no-recursion reason as Raw.
+func (s *Store) Envelope(key string) (raw []byte, kind string, ok bool) {
+	if !validKey(key) {
+		return nil, "", false
+	}
+	raw, found := s.blob.Get(key)
+	if !found {
+		return nil, "", false
+	}
+	kind, _, err := CheckEnvelope(key, raw)
+	s.mu.Lock()
+	if err != nil {
+		s.corrupt++
+		s.dropLocked(key)
+		s.mu.Unlock()
+		return nil, "", false
+	}
+	s.touchLocked(key, int64(len(raw)), kind)
+	s.mu.Unlock()
+	s.blobTouch(key)
+	return raw, kind, true
+}
+
+// PutEnvelope stores a pre-encoded envelope pushed by a peer
+// (PUT /v1/blobs/{key}). The envelope is re-verified — integrity, known
+// kind, matching codec version — so a peer can never plant bytes this
+// node would later serve or decode wrongly.
+func (s *Store) PutEnvelope(key string, raw []byte) error {
+	if !validKey(key) {
+		return errors.New("invalid key")
+	}
+	kind, version, err := CheckEnvelope(key, raw)
+	if err != nil {
+		return err
+	}
+	codec, ok := s.codecs[kind]
+	if !ok {
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	if codec.Version != version {
+		return fmt.Errorf("codec version %d, want %d", version, codec.Version)
+	}
+	if !s.blob.Put(key, raw) {
+		return errors.New("blob write failed")
+	}
+	s.mu.Lock()
+	s.saves++
+	s.touchLocked(key, int64(len(raw)), kind)
+	s.evictLocked(key)
+	s.mu.Unlock()
+	return nil
+}
+
+// DeleteKey removes the artifact for key (DELETE /v1/blobs/{key});
+// true if it was indexed.
+func (s *Store) DeleteKey(key string) bool {
+	if !validKey(key) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, existed := s.index[key]
+	s.dropLocked(key)
+	return existed
+}
+
+// StatKey reports an indexed artifact's size and kind without reading it.
+func (s *Store) StatKey(key string) (KeyInfo, bool) {
+	if !validKey(key) {
+		return KeyInfo{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent, ok := s.index[key]
+	if !ok {
+		return KeyInfo{}, false
+	}
+	return KeyInfo{Key: key, Kind: ent.kind, Size: ent.size}, true
+}
+
+// Keys lists the indexed artifacts sorted by key (GET /v1/blobs).
+func (s *Store) Keys() []KeyInfo {
+	s.mu.Lock()
+	out := make([]KeyInfo, 0, len(s.index))
+	for k, e := range s.index {
+		out = append(out, KeyInfo{Key: k, Kind: e.kind, Size: e.size})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// CheckEnvelope verifies that raw is a well-formed artifact envelope for
+// key — schema, key match, payload SHA-256 — and returns its kind and
+// codec version. It is the integrity gate applied to envelopes received
+// from peers before they are trusted or persisted; the caller owns the
+// kind/version policy.
+func CheckEnvelope(key string, raw []byte) (kind string, codecVersion int, err error) {
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return "", 0, err
+	}
+	switch {
+	case env.Schema != Schema:
+		return "", 0, fmt.Errorf("schema %q", env.Schema)
+	case env.Key != key:
+		return "", 0, fmt.Errorf("key mismatch")
+	case !payloadHashMatches(env.Payload, env.SHA256):
+		return "", 0, fmt.Errorf("payload hash mismatch")
+	}
+	return env.Kind, env.CodecVersion, nil
 }
 
 func decodeEnvelope(raw []byte, kind, key string, codec Codec) (any, error) {
@@ -383,22 +561,12 @@ func (s *Store) Save(kind, key string, val any) {
 	writeEnvelope(buf, kind, key, codec.Version, payload)
 	size := int64(buf.Len())
 
-	// All file I/O happens outside the lock: concurrent workers persist
+	// All blob I/O happens outside the lock: concurrent workers persist
 	// different keys in parallel (the runner's single-flight path
 	// guarantees one writer per key within a process; across processes
-	// the rename makes last-writer-wins atomic).
-	path := s.path(key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*.json")
-	if err != nil {
-		return
-	}
-	_, werr := tmp.Write(buf.Bytes())
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil || os.Rename(tmp.Name(), path) != nil {
-		os.Remove(tmp.Name())
+	// the backend's atomic replace makes last-writer-wins safe). Put must
+	// not retain buf.Bytes() — it goes back to the pool on return.
+	if !s.blob.Put(key, buf.Bytes()) {
 		return
 	}
 
@@ -463,14 +631,6 @@ func (s *Store) touchLocked(key string, size int64, kind string) {
 	}
 }
 
-// refreshMtime bumps a loaded artifact's file mtime (outside the store
-// lock — it is only an LRU recency hint for the next Open) so the LRU
-// order survives restarts.
-func refreshMtime(path string) {
-	now := time.Now()
-	_ = os.Chtimes(path, now, now)
-}
-
 // evictLocked removes least-recently-used artifacts until the store fits
 // its byte budget. The just-written key is exempt: an artifact larger than
 // the whole budget is kept (alone) rather than thrashing.
@@ -492,17 +652,20 @@ func (s *Store) evictLocked(justWritten string) {
 		if victim == "" {
 			return
 		}
-		s.dropLocked(victim, s.path(victim))
+		s.dropLocked(victim)
 		s.evictions++
 	}
 }
 
-func (s *Store) dropLocked(key, path string) {
+// dropLocked removes key from the index and deletes its blob best-effort
+// (also called on misses to reconcile the index with a backend that lost
+// the blob underneath us).
+func (s *Store) dropLocked(key string) {
 	if ent, ok := s.index[key]; ok {
 		s.total -= ent.size
 		delete(s.index, key)
 	}
-	_ = os.Remove(path)
+	s.blob.Delete(key)
 }
 
 // payloadHashMatches reports whether wantHex is the hex SHA-256 of

@@ -1,0 +1,262 @@
+package lab
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/artifact"
+)
+
+// This file is the cross-node single-flight layer (DESIGN.md §13): a
+// static fleet where every node derives the same owner for a spec key by
+// rendezvous hashing, non-owners proxy-wait on the owner (so a job
+// executes exactly once fleet-wide) and steal the work locally when the
+// owner is overloaded or dead. Artifacts move between nodes through the
+// artifact.PeerBlob read-through tier, never through the proxy itself.
+
+// proxyHeader marks a submission forwarded by another fleet node. A
+// proxied submission always executes locally: two nodes with divergent
+// peer lists must degrade to duplicate work, never to a proxy cycle.
+const proxyHeader = "X-Labd-Fleet-Proxy"
+
+// FleetConfig wires one labd node into a static fleet. The zero value
+// (no Self, no Peers) means fleet mode off.
+type FleetConfig struct {
+	// Self is this node's advertised base URL — the address peers use to
+	// reach it, and the name it hashes itself under. It must be on the
+	// same list every peer passes as -peers.
+	Self string
+	// Peers are the other nodes' base URLs.
+	Peers []string
+	// StealDepth is the owner queue depth above which a non-owner stops
+	// proxying and executes locally (work stealing): trading duplicate
+	// execution risk for latency once the owner is saturated. 0: default
+	// 4; negative: never steal on depth (only on a dead owner).
+	StealDepth int
+	// ProxyTimeout bounds one proxied submit+wait round trip. A proxy
+	// that times out falls back to local execution. 0: default 10m.
+	ProxyTimeout time.Duration
+	// ProbeTTL caches a peer's queue-depth probe. 0: default 250ms.
+	ProbeTTL time.Duration
+	// Client overrides the HTTP client used for probes and proxying
+	// (tests). nil: a dedicated keep-alive client.
+	Client *http.Client
+}
+
+// Enabled reports whether the config describes a real fleet.
+func (c FleetConfig) Enabled() bool { return c.Self != "" && len(c.Peers) > 0 }
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	c.Self = artifact.NormalizePeerURL(c.Self)
+	peers := make([]string, 0, len(c.Peers))
+	for _, p := range c.Peers {
+		if p = artifact.NormalizePeerURL(p); p != "" && p != c.Self {
+			peers = append(peers, p)
+		}
+	}
+	c.Peers = peers
+	if c.StealDepth == 0 {
+		c.StealDepth = 4
+	}
+	if c.ProxyTimeout == 0 {
+		c.ProxyTimeout = 10 * time.Minute
+	}
+	if c.ProbeTTL == 0 {
+		c.ProbeTTL = 250 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// FleetStats is the per-node fleet state surfaced under "fleet" on
+// /v1/status and as labd_fleet_* / labd_peer_fetch_* on /metrics.
+type FleetStats struct {
+	Self       string   `json:"self"`
+	Peers      []string `json:"peers"`
+	StealDepth int      `json:"steal_depth"`
+	// Proxied counts jobs this node routed to their owner and waited out
+	// (executed exactly once, remotely).
+	Proxied uint64 `json:"proxied"`
+	// ProxyErrors counts proxy attempts that failed (owner refused, died
+	// mid-wait, or timed out) and fell back to local execution.
+	ProxyErrors uint64 `json:"proxy_errors"`
+	// Steals counts non-owned jobs executed locally: the owner was
+	// saturated past StealDepth, dead, or the proxy failed.
+	Steals uint64 `json:"steals"`
+	// PeerFetch is the artifact read-through tier's view (fetch hits,
+	// misses, errors against the peer backends).
+	PeerFetch artifact.PeerStats `json:"peer_fetch"`
+}
+
+// fleet is the runtime behind FleetConfig.
+type fleet struct {
+	cfg   FleetConfig
+	nodes []string // Self + Peers: the rendezvous candidate set
+
+	proxied, proxyErrors, steals atomic.Uint64
+
+	mu     sync.Mutex
+	probes map[string]probe
+}
+
+type probe struct {
+	depth int
+	err   error
+	at    time.Time
+}
+
+func newFleet(cfg FleetConfig) *fleet {
+	cfg = cfg.withDefaults()
+	nodes := append([]string{cfg.Self}, cfg.Peers...)
+	return &fleet{cfg: cfg, nodes: nodes, probes: make(map[string]probe)}
+}
+
+// owner returns the rendezvous-hashed owner node for a spec key: the
+// node with the highest FNV-64a(node ++ key) weight. Every node computes
+// this over the same candidate set, so the fleet agrees on one owner per
+// key with no coordination, and losing a node only reassigns that node's
+// keys (the defining property of highest-random-weight hashing).
+func (f *fleet) owner(key string) string {
+	return RendezvousOwner(f.nodes, key)
+}
+
+// RendezvousOwner picks the highest-random-weight node for key. Exported
+// for the load generator's per-node attribution and for tests; ties (a
+// hash collision across nodes) break lexicographically so the choice is
+// still total.
+func RendezvousOwner(nodes []string, key string) string {
+	best, bestW := "", uint64(0)
+	for _, n := range nodes {
+		h := fnv.New64a()
+		io.WriteString(h, n)
+		h.Write([]byte{0})
+		io.WriteString(h, key)
+		w := h.Sum64()
+		if best == "" || w > bestW || (w == bestW && n < best) {
+			best, bestW = n, w
+		}
+	}
+	return best
+}
+
+// queueDepth probes a peer's admission-control queue depth from its
+// /v1/status, memoized for ProbeTTL so a burst of routing decisions
+// shares one probe. An unreachable peer returns the error (the caller
+// treats it as "owner dead" and steals).
+func (f *fleet) queueDepth(ctx context.Context, node string) (int, error) {
+	now := time.Now()
+	f.mu.Lock()
+	if p, ok := f.probes[node]; ok && now.Sub(p.at) < f.cfg.ProbeTTL {
+		f.mu.Unlock()
+		return p.depth, p.err
+	}
+	f.mu.Unlock()
+
+	depth, err := f.fetchDepth(ctx, node)
+	f.mu.Lock()
+	f.probes[node] = probe{depth: depth, err: err, at: now}
+	f.mu.Unlock()
+	return depth, err
+}
+
+func (f *fleet) fetchDepth(ctx context.Context, node string) (int, error) {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v1/status", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("status %d from %s", resp.StatusCode, node)
+	}
+	var st struct {
+		QueueDepth int `json:"queue_depth"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, err
+	}
+	return st.QueueDepth, nil
+}
+
+// errOwnerBusy is a proxy refusal by admission control: the owner is
+// overloaded, so the caller steals instead of retrying.
+var errOwnerBusy = fmt.Errorf("owner refused submission (backpressure)")
+
+// proxyWait submits body to the owner and blocks until the owner's job
+// reaches a terminal state, bounded by ProxyTimeout and the caller's
+// context. nil means the owner holds a finished "done" result for key —
+// the caller then pulls the artifact through the peer-blob tier; it
+// never travels through this call.
+func (f *fleet) proxyWait(ctx context.Context, owner string, body []byte, key string) error {
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.ProxyTimeout)
+	defer cancel()
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/specs", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set(proxyHeader, "1")
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return errOwnerBusy
+	case resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted:
+		return fmt.Errorf("owner submit: status %d", resp.StatusCode)
+	}
+
+	req, err = http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/jobs/"+key+"/wait", nil)
+	if err != nil {
+		return err
+	}
+	resp, err = f.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return fmt.Errorf("owner wait: status %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	if st.State != StateDone {
+		return fmt.Errorf("owner finished %q in state %s: %s", key, st.State, st.Error)
+	}
+	return nil
+}
+
+// stats snapshots the fleet counters (peer-fetch stats are merged in by
+// the server, which owns the store).
+func (f *fleet) stats() FleetStats {
+	return FleetStats{
+		Self:        f.cfg.Self,
+		Peers:       f.cfg.Peers,
+		StealDepth:  f.cfg.StealDepth,
+		Proxied:     f.proxied.Load(),
+		ProxyErrors: f.proxyErrors.Load(),
+		Steals:      f.steals.Load(),
+	}
+}

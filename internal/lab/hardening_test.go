@@ -411,6 +411,7 @@ var metricsInventory = []string{
 	"labd_engine_cache_hits_total",
 	"labd_engine_cache_misses_total",
 	"labd_engine_store_hits_total",
+	"labd_engine_executions_total",
 	"labd_queue_depth",
 	"labd_jobs{state=\"queued\"}",
 	"labd_jobs{state=\"running\"}",
@@ -438,6 +439,19 @@ var storeMetricsInventory = []string{
 	"labd_store_artifacts",
 	"labd_store_bytes",
 	"labd_store_max_bytes",
+	"labd_store_peer_hits_total",
+}
+
+// fleetMetricsInventory is the additional family set a fleet-mode node
+// must serve; single-node servers rightly omit it (TestFleetMetrics).
+var fleetMetricsInventory = []string{
+	"labd_fleet_peers",
+	"labd_fleet_proxied_total",
+	"labd_fleet_proxy_errors_total",
+	"labd_fleet_steals_total",
+	"labd_peer_fetch_hits_total",
+	"labd_peer_fetch_misses_total",
+	"labd_peer_fetch_errors_total",
 }
 
 // TestMetricsEndpoint: /metrics serves the full counter inventory in

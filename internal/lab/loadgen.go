@@ -26,6 +26,15 @@ import (
 type LoadConfig struct {
 	// BaseURL is the service root, e.g. "http://localhost:8080".
 	BaseURL string
+	// BaseURLs, when set, drives a multi-node fleet: requests round-robin
+	// across the nodes and the report aggregates throughput plus the
+	// cross-node fleet counters scraped from every node's /v1/status.
+	// Overrides BaseURL.
+	BaseURLs []string
+	// Bodies, when set, are the exact spec bodies to cycle through
+	// instead of generated LoadSpecs — e.g. a warmed co-run matrix for
+	// cache-hit fleet traffic. Overrides Unique/Seed.
+	Bodies [][]byte
 	// Requests is the total number of submissions. Default 32.
 	Requests int
 	// Clients is the number of concurrent submitters. Default 4.
@@ -45,6 +54,9 @@ type LoadConfig struct {
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
+	if len(c.BaseURLs) == 0 && c.BaseURL != "" {
+		c.BaseURLs = []string{c.BaseURL}
+	}
 	if c.Requests == 0 {
 		c.Requests = 32
 	}
@@ -79,6 +91,27 @@ type LoadReport struct {
 	WaitP50Ms   float64 `json:"wait_p50_ms"`
 	WaitP99Ms   float64 `json:"wait_p99_ms"`
 	ElapsedMs   float64 `json:"elapsed_ms"`
+
+	// Nodes is how many base URLs the run round-robined across, and
+	// ThroughputRPS the aggregate completed requests per second — the
+	// fleet's headline number.
+	Nodes         int     `json:"nodes"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Fleet, when any node reports fleet state, is the delta of the
+	// cross-node counters over this run, summed fleet-wide.
+	Fleet *FleetLoadTotals `json:"fleet,omitempty"`
+}
+
+// FleetLoadTotals is the fleet-wide counter movement during one load run
+// (after-minus-before sums of every reachable node's /v1/status).
+type FleetLoadTotals struct {
+	Executions      uint64 `json:"executions"`
+	PeerFetchHits   uint64 `json:"peer_fetch_hits"`
+	PeerFetchMisses uint64 `json:"peer_fetch_misses"`
+	PeerFetchErrors uint64 `json:"peer_fetch_errors"`
+	Proxied         uint64 `json:"proxied"`
+	ProxyErrors     uint64 `json:"proxy_errors"`
+	Steals          uint64 `json:"steals"`
 }
 
 // LoadSpecs builds n distinct, cheap-but-real sampling specs (one region,
@@ -109,15 +142,24 @@ func LoadSpecs(n int, seed uint64) ([][]byte, error) {
 	return out, nil
 }
 
-// RunLoad executes one load run against a live service.
+// RunLoad executes one load run against a live service (or, with
+// BaseURLs, round-robin across a fleet).
 func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	cfg = cfg.withDefaults()
-	bodies, err := LoadSpecs(cfg.Unique, cfg.Seed)
-	if err != nil {
-		return nil, err
+	if len(cfg.BaseURLs) == 0 {
+		return nil, fmt.Errorf("lab: RunLoad needs BaseURL or BaseURLs")
 	}
+	bodies := cfg.Bodies
+	if len(bodies) == 0 {
+		var err error
+		bodies, err = LoadSpecs(cfg.Unique, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	before := scrapeFleet(cfg)
 
-	rep := &LoadReport{Requests: cfg.Requests}
+	rep := &LoadReport{Requests: cfg.Requests, Nodes: len(cfg.BaseURLs)}
 	var (
 		mu         sync.Mutex
 		submitLats []float64
@@ -131,7 +173,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				submitMs, waitMs, accepted, rejections, err := runOne(cfg, bodies[i%len(bodies)])
+				base := cfg.BaseURLs[i%len(cfg.BaseURLs)]
+				submitMs, waitMs, accepted, rejections, err := runOne(cfg, base, bodies[i%len(bodies)])
 				mu.Lock()
 				rep.Rejected += rejections
 				if err != nil {
@@ -160,16 +203,77 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	rep.SubmitP99Ms = percentile(submitLats, 0.99)
 	rep.WaitP50Ms = percentile(waitLats, 0.50)
 	rep.WaitP99Ms = percentile(waitLats, 0.99)
+	if rep.ElapsedMs > 0 {
+		rep.ThroughputRPS = float64(rep.Accepted+rep.CacheHits) / (rep.ElapsedMs / 1000)
+	}
+	if after := scrapeFleet(cfg); after != nil && before != nil {
+		rep.Fleet = &FleetLoadTotals{
+			Executions:      after.Executions - before.Executions,
+			PeerFetchHits:   after.PeerFetchHits - before.PeerFetchHits,
+			PeerFetchMisses: after.PeerFetchMisses - before.PeerFetchMisses,
+			PeerFetchErrors: after.PeerFetchErrors - before.PeerFetchErrors,
+			Proxied:         after.Proxied - before.Proxied,
+			ProxyErrors:     after.ProxyErrors - before.ProxyErrors,
+			Steals:          after.Steals - before.Steals,
+		}
+	}
 	return rep, nil
 }
 
-// runOne submits one spec (retrying on 429 per the Retry-After hint) and
-// waits for the job to finish.
-func runOne(cfg LoadConfig, body []byte) (submitMs, waitMs float64, accepted bool, rejections int, err error) {
+// scrapeFleet sums the fleet-relevant counters across every reachable
+// node's /v1/status; nil when no node reports fleet state (single-node
+// runs keep their report shape unchanged). Unreachable nodes are skipped
+// — a load run against a fleet with a dead member still reports.
+func scrapeFleet(cfg LoadConfig) *FleetLoadTotals {
+	var tot FleetLoadTotals
+	anyFleet := false
+	for _, base := range cfg.BaseURLs {
+		resp, err := cfg.Client.Get(base + "/v1/status")
+		if err != nil {
+			continue
+		}
+		var st struct {
+			Executions uint64 `json:"executions"`
+			Fleet      *struct {
+				Proxied     uint64 `json:"proxied"`
+				ProxyErrors uint64 `json:"proxy_errors"`
+				Steals      uint64 `json:"steals"`
+				PeerFetch   struct {
+					Hits   uint64 `json:"hits"`
+					Misses uint64 `json:"misses"`
+					Errors uint64 `json:"errors"`
+				} `json:"peer_fetch"`
+			} `json:"fleet"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		tot.Executions += st.Executions
+		if st.Fleet != nil {
+			anyFleet = true
+			tot.Proxied += st.Fleet.Proxied
+			tot.ProxyErrors += st.Fleet.ProxyErrors
+			tot.Steals += st.Fleet.Steals
+			tot.PeerFetchHits += st.Fleet.PeerFetch.Hits
+			tot.PeerFetchMisses += st.Fleet.PeerFetch.Misses
+			tot.PeerFetchErrors += st.Fleet.PeerFetch.Errors
+		}
+	}
+	if !anyFleet {
+		return nil
+	}
+	return &tot
+}
+
+// runOne submits one spec to base (retrying on 429 per the Retry-After
+// hint) and waits for the job to finish.
+func runOne(cfg LoadConfig, base string, body []byte) (submitMs, waitMs float64, accepted bool, rejections int, err error) {
 	var st JobStatus
 	for attempt := 0; ; attempt++ {
 		t0 := time.Now()
-		resp, perr := cfg.Client.Post(cfg.BaseURL+"/v1/specs", "application/json", bytes.NewReader(body))
+		resp, perr := cfg.Client.Post(base+"/v1/specs", "application/json", bytes.NewReader(body))
 		if perr != nil {
 			return 0, 0, false, rejections, perr
 		}
@@ -201,7 +305,7 @@ func runOne(cfg LoadConfig, body []byte) (submitMs, waitMs float64, accepted boo
 	}
 
 	t1 := time.Now()
-	resp, werr := cfg.Client.Get(cfg.BaseURL + "/v1/jobs/" + st.Key + "/wait")
+	resp, werr := cfg.Client.Get(base + "/v1/jobs/" + st.Key + "/wait")
 	if werr != nil {
 		return 0, 0, false, rejections, werr
 	}

@@ -54,6 +54,24 @@ func NewEngine(workers int, storeDir string, storeMaxBytes int64) (*runner.Engin
 	return eng, st, nil
 }
 
+// NewFleetEngine is NewEngine plus the fleet's artifact tier: the store
+// gets a peer-HTTP read-through backend over the given base URLs, so a
+// local miss is retried against the fleet (integrity re-verified, then
+// persisted locally) before the engine recomputes. Fleet mode requires a
+// store — the peer tier is an artifact tier, and a node with nothing to
+// serve would be a freeloader that also re-executes everything.
+func NewFleetEngine(workers int, storeDir string, storeMaxBytes int64, peers []string, fetchTimeout time.Duration) (*runner.Engine, *artifact.Store, error) {
+	if storeDir == "" {
+		return nil, nil, fmt.Errorf("fleet mode requires an artifact store (-store)")
+	}
+	eng, st, err := NewEngine(workers, storeDir, storeMaxBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.AttachPeers(artifact.NewPeerBlob(peers, artifact.PeerOptions{Timeout: fetchTimeout}))
+	return eng, st, nil
+}
+
 // ProgressPrinter returns the standard per-job progress line writer the
 // CLIs install as Engine.OnProgress.
 func ProgressPrinter(w io.Writer) func(runner.Progress) {
@@ -109,12 +127,18 @@ type job struct {
 	state     string
 	cached    bool
 	fromStore bool
-	err       string
-	val       any
-	started   time.Time
-	finished  time.Time
-	elapsed   time.Duration
-	done      chan struct{}
+	// body is the raw submission (kept only in fleet mode) so a non-owner
+	// can forward the spec verbatim to its owner node; noProxy marks a
+	// submission that itself arrived via a fleet proxy and must execute
+	// locally (cycle guard).
+	body     []byte
+	noProxy  bool
+	err      string
+	val      any
+	started  time.Time
+	finished time.Time
+	elapsed  time.Duration
+	done     chan struct{}
 	// ctx/cancel bound the execution: DELETE /v1/jobs/{key} (or the last
 	// waiter disconnecting) cancels, and the runner plus the engines'
 	// region/quantum Cancel hooks observe it cooperatively.
@@ -161,6 +185,10 @@ type Options struct {
 	// MaxBody bounds one submission request's body; larger bodies are
 	// refused with 413. 0: default 16 MiB.
 	MaxBody int64
+	// Fleet wires this node into a multi-node fleet (cross-node
+	// single-flight + work stealing, DESIGN.md §13). Zero value: fleet
+	// mode off.
+	Fleet FleetConfig
 }
 
 func (o Options) withDefaults() Options {
@@ -194,6 +222,9 @@ type Server struct {
 	// without this gate N clients would mean N concurrent experiments
 	// regardless of -workers. Jobs stay "queued" while waiting.
 	sem chan struct{}
+	// fleet is the cross-node single-flight router; nil outside fleet
+	// mode.
+	fleet *fleet
 
 	mets serviceMetrics
 
@@ -216,6 +247,9 @@ func NewServerOpts(eng *runner.Engine, store *artifact.Store, opts Options) *Ser
 	s := &Server{eng: eng, store: store, opts: opts.withDefaults(),
 		sem:  make(chan struct{}, runner.PoolSize(eng.Workers)),
 		jobs: make(map[string]*job), subs: make(map[chan runner.Progress]bool)}
+	if s.opts.Fleet.Enabled() {
+		s.fleet = newFleet(s.opts.Fleet)
+	}
 	eng.OnProgress = s.onProgress
 	return s
 }
@@ -246,6 +280,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{key}/wait", s.handleWait)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/artifacts/{key}", s.handleArtifact)
+	mux.HandleFunc("GET /v1/blobs", s.handleBlobList)
+	mux.HandleFunc("GET /v1/blobs/{key}", s.handleBlobGet)
+	mux.HandleFunc("PUT /v1/blobs/{key}", s.handleBlobPut)
+	mux.HandleFunc("DELETE /v1/blobs/{key}", s.handleBlobDelete)
 	mux.HandleFunc("GET /v1/kinds", s.handleKinds)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -351,10 +389,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mets.submits.Add(1)
+	if s.fleet == nil {
+		body = nil // only the fleet router forwards bodies; don't pin them
+	}
+	noProxy := r.Header.Get(proxyHeader) != ""
 
 	s.mu.Lock()
 	s.pruneLocked(start)
 	if j, ok := s.jobs[sp.Key()]; ok {
+		j.body, j.noProxy = body, j.noProxy || noProxy
 		if j.state == StateFailed || j.state == StateCancelled {
 			// Re-arm: the recorded failure may be transient (and the
 			// engine never caches errors), so a resubmit retries instead
@@ -384,7 +427,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		return
 	}
-	j := &job{spec: sp}
+	j := &job{spec: sp, body: body, noProxy: noProxy}
 	j.arm()
 	s.jobs[sp.Key()] = j
 	s.queued++
@@ -422,6 +465,14 @@ func (s *Server) admitLocked(w http.ResponseWriter, newJob bool) bool {
 }
 
 func (s *Server) run(j *job) {
+	// Fleet routing happens while the job is still queued, BEFORE a worker
+	// slot is taken: proxy-waiting on another node is idle network time,
+	// and holding a slot through it would let a fleet of saturated nodes
+	// proxy-wait at each other in a cycle — a distributed deadlock. After
+	// routing, the local execution (a peer-tier artifact pull when the
+	// proxy succeeded, a real run otherwise) takes the slot as usual.
+	s.routeToOwner(j)
+
 	// Queued phase: wait for a worker slot, but leave immediately if the
 	// job is cancelled first — cancellation must abort queued work without
 	// consuming a slot.
@@ -450,6 +501,53 @@ func (s *Server) run(j *job) {
 		}
 	}
 	s.finish(j, val, err)
+}
+
+// routeToOwner is the cross-node single-flight decision for one queued
+// job: if another node owns the key, proxy the submission there and wait
+// it out (the job then executes exactly once, remotely; the follow-up
+// local RunSpecCtx pulls the artifact through the tiered store — peer
+// fetch, integrity check, local persist — without executing). A saturated
+// owner (queue deeper than StealDepth), a dead owner, or a failed proxy
+// degrades to local execution — a steal. If the owner dies between proxy
+// and pull, the peer fetch misses and the engine recomputes; either way
+// the job never fails because of the fleet.
+func (s *Server) routeToOwner(j *job) {
+	f := s.fleet
+	if f == nil || j.noProxy {
+		return
+	}
+	key := j.spec.Key()
+	owner := f.owner(key)
+	if owner == f.cfg.Self || s.localHit(key) {
+		return
+	}
+	depth, derr := f.queueDepth(j.ctx, owner)
+	if derr == nil && (f.cfg.StealDepth < 0 || depth <= f.cfg.StealDepth) {
+		if err := f.proxyWait(j.ctx, owner, j.body, key); err == nil {
+			f.proxied.Add(1)
+			return
+		} else if j.ctx.Err() != nil {
+			return // cancelled mid-proxy: run() observes the dead context
+		}
+		f.proxyErrors.Add(1)
+	}
+	f.steals.Add(1)
+}
+
+// localHit reports whether key can be served without executing or
+// proxying: a live engine cache entry (done, or in flight — joining it is
+// single-flight) or an indexed local artifact.
+func (s *Server) localHit(key string) bool {
+	if s.eng.HasCached(key) {
+		return true
+	}
+	if s.store != nil {
+		if _, ok := s.store.StatKey(key); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // finish moves a job to its terminal state and wakes the waiters.
@@ -666,9 +764,18 @@ func progressEvent(p runner.Progress) Event {
 
 // handleArtifact serves the result payload for a key: from the persistent
 // store when available (integrity-checked raw bytes), else re-encoded
-// from the in-memory result of a finished job.
+// from the in-memory result of a finished job. With ?envelope=1 it serves
+// the raw artifact envelope instead — the peer-fetch read path
+// (artifact.PeerBlob), which needs the envelope's own integrity metadata
+// to re-verify on receipt. Envelope serving is strictly local (store
+// only, never the peer tier): two nodes must not ping-pong a miss
+// between each other.
 func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
+	if r.URL.Query().Get("envelope") == "1" {
+		s.serveEnvelope(w, key)
+		return
+	}
 	if s.store != nil {
 		if payload, kind, ok := s.store.Raw(key); ok {
 			w.Header().Set("Content-Type", "application/json")
@@ -708,6 +815,78 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Artifact-Kind", j.spec.Kind())
 	w.Header().Set("X-Artifact-Source", "memory")
 	_, _ = w.Write(payload)
+}
+
+// serveEnvelope writes the verified raw envelope for key, with an
+// explicit Content-Length so HEAD probes (Blob.Stat) see the size.
+func (s *Server) serveEnvelope(w http.ResponseWriter, key string) {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, "no artifact store")
+		return
+	}
+	raw, kind, ok := s.store.Envelope(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no artifact for %q", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", fmt.Sprintf("%d", len(raw)))
+	w.Header().Set("X-Artifact-Kind", kind)
+	w.Header().Set("X-Artifact-Source", "envelope")
+	_, _ = w.Write(raw)
+}
+
+// The /v1/blobs surface completes the Blob contract over HTTP (GET list,
+// GET/HEAD/PUT/DELETE per key) so artifact.PeerBlob is a full Blob
+// backend, not just a read path: the same conformance suite that runs
+// against DiskBlob runs against a live node through these handlers.
+// Writes re-verify the envelope server-side (Store.PutEnvelope) — a peer
+// can never plant bytes this node would serve or decode wrongly.
+
+func (s *Server) handleBlobList(w http.ResponseWriter, _ *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, "no artifact store")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.Keys())
+}
+
+func (s *Server) handleBlobGet(w http.ResponseWriter, r *http.Request) {
+	s.serveEnvelope(w, r.PathValue("key"))
+}
+
+func (s *Server) handleBlobPut(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, "no artifact store")
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "envelope exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if err := s.store.PutEnvelope(r.PathValue("key"), raw); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleBlobDelete(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, "no artifact store")
+		return
+	}
+	if !s.store.DeleteKey(r.PathValue("key")) {
+		writeError(w, http.StatusNotFound, "no artifact for %q", r.PathValue("key"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleKinds(w http.ResponseWriter, _ *http.Request) {
@@ -750,12 +929,20 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 		"cache_hits":    hits,
 		"cache_miss":    misses,
 		"store_hits":    s.eng.StoreHits(),
+		"executions":    s.eng.Executions(),
 		"submits":       s.mets.submits.Load(),
 		"rejected":      s.mets.rejected.Load(),
 		"cancels":       s.mets.cancels.Load(),
 	}
 	if s.store != nil {
 		st["store"] = s.store.Stats()
+	}
+	if s.fleet != nil {
+		fs := s.fleet.stats()
+		if s.store != nil && s.store.Peers() != nil {
+			fs.PeerFetch = s.store.Peers().Stats()
+		}
+		st["fleet"] = fs
 	}
 	writeJSON(w, http.StatusOK, st)
 }
@@ -777,6 +964,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	promCounter(w, "labd_engine_cache_hits_total", "in-memory result cache hits", hits)
 	promCounter(w, "labd_engine_cache_misses_total", "jobs executed (cache misses)", misses)
 	promCounter(w, "labd_engine_store_hits_total", "jobs served by the persistent artifact store", storeHits)
+	promCounter(w, "labd_engine_executions_total", "spec executions started on this node (fleet dedup invariant sums these)", s.eng.Executions())
 	if s.store != nil {
 		st := s.store.Stats()
 		promCounter(w, "labd_store_loads_total", "artifact store load attempts", st.Loads)
@@ -785,9 +973,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		promCounter(w, "labd_store_saves_total", "artifacts persisted", st.Saves)
 		promCounter(w, "labd_store_evictions_total", "artifacts evicted by the LRU byte budget", st.Evictions)
 		promCounter(w, "labd_store_corrupt_total", "artifact integrity failures", st.Corrupt)
+		promCounter(w, "labd_store_peer_hits_total", "loads served by fetching from a fleet peer", st.PeerHits)
 		promGauge(w, "labd_store_artifacts", "artifacts currently in the store", int64(st.Artifacts))
 		promGauge(w, "labd_store_bytes", "bytes currently in the store", st.Bytes)
 		promGauge(w, "labd_store_max_bytes", "store byte budget (0: unbounded)", st.MaxBytes)
+	}
+	if s.fleet != nil {
+		fs := s.fleet.stats()
+		promGauge(w, "labd_fleet_peers", "peer nodes in the static fleet", int64(len(fs.Peers)))
+		promCounter(w, "labd_fleet_proxied_total", "jobs proxy-waited on their owner node", fs.Proxied)
+		promCounter(w, "labd_fleet_proxy_errors_total", "proxy attempts that failed over to local execution", fs.ProxyErrors)
+		promCounter(w, "labd_fleet_steals_total", "non-owned jobs executed locally (owner saturated or dead)", fs.Steals)
+		if s.store != nil && s.store.Peers() != nil {
+			ps := s.store.Peers().Stats()
+			promCounter(w, "labd_peer_fetch_hits_total", "artifact fetches served by a peer (integrity verified)", ps.Hits)
+			promCounter(w, "labd_peer_fetch_misses_total", "artifact fetches no peer could serve", ps.Misses)
+			promCounter(w, "labd_peer_fetch_errors_total", "peer fetch errors (transport, non-404 status, failed verification)", ps.Errors)
+		}
 	}
 	promGauge(w, "labd_queue_depth", "jobs waiting for a worker slot", int64(queued))
 	fmt.Fprintf(w, "# HELP labd_jobs jobs in the ledger by state\n# TYPE labd_jobs gauge\n")

@@ -253,6 +253,43 @@ func (g Regression) String() string {
 		g.Scenario, g.CurNs, g.Metric, g.RefNs, (g.CurNs/g.RefNs-1)*100)
 }
 
+// AllocRegression is one scenario whose allocs/access grew past what a
+// reference allows.
+type AllocRegression struct {
+	Scenario  string
+	RefAllocs float64
+	CurAllocs float64
+}
+
+func (g AllocRegression) String() string {
+	return fmt.Sprintf("%s: %.2f allocs/access vs reference %.2f",
+		g.Scenario, g.CurAllocs, g.RefAllocs)
+}
+
+// CompareAllocs returns the scenarios of cur whose allocs/access grew more
+// than maxRegress (a fraction) relative to ref, with half an allocation of
+// absolute slack on top. Allocation counts are near-deterministic — the
+// runtime does not allocate more because the host is loaded — which makes
+// this the noise-immune half of the CI perf gate: a wall-clock gate wide
+// enough for shared-runner variance still lets a real regression through,
+// but a new allocation on a hot path moves allocs/access reliably and gets
+// caught here. The absolute slack absorbs the only legitimate jitter:
+// once-per-run bookkeeping (timer restarts, map growth) amortized over a
+// varying repetition count.
+func CompareAllocs(ref, cur *Report, maxRegress float64) []AllocRegression {
+	var out []AllocRegression
+	for _, c := range cur.Scenarios {
+		r, ok := ref.Find(c.Scenario)
+		if !ok || r.AllocsPerAccess <= 0 {
+			continue
+		}
+		if c.AllocsPerAccess > r.AllocsPerAccess*(1+maxRegress)+0.5 {
+			out = append(out, AllocRegression{Scenario: c.Scenario, RefAllocs: r.AllocsPerAccess, CurAllocs: c.AllocsPerAccess})
+		}
+	}
+	return out
+}
+
 // Compare returns the scenarios of cur whose ns/access regressed more than
 // maxRegress (a fraction, e.g. 0.20) relative to ref. Scenarios missing
 // from either side are skipped: the gate only judges common ground. When

@@ -1,10 +1,13 @@
 package perf
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -24,7 +27,7 @@ import (
 
 // Scenarios returns the standard suite in reporting order.
 func Scenarios() []Scenario {
-	return []Scenario{SoloPipeline(), CorunCell(), CorunCellForked(), CorunMatrix(), DSEFanout(), KeyReuse(), StoreRoundTrip(), LabdLoad()}
+	return []Scenario{SoloPipeline(), CorunCell(), CorunCellForked(), CorunMatrix(), DSEFanout(), KeyReuse(), StoreRoundTrip(), LabdLoad(), FleetLoad()}
 }
 
 // Named returns the scenarios matching the given names (nil names = all).
@@ -330,6 +333,169 @@ func LabdLoad() Scenario {
 			}, func() { ts.Close(); _ = os.RemoveAll(dir) }
 		},
 	}
+}
+
+// FleetLoad is the scale-out steady state: a 3-node in-process labd fleet
+// serves a warmed co-run matrix to round-robin clients. Setup warms the
+// matrix through the fleet (rendezvous routing decides which node executes
+// each cell) and then enforces the fleet's central invariant before any
+// measurement happens: summed per-node execution counters must equal the
+// number of unique spec keys — zero duplicate executions fleet-wide — and
+// a full resubmit of every cell to every node must add no executions while
+// moving artifacts between nodes over the peer fetch tier. The measured
+// step is pure cache-hit traffic across all three nodes, so ns/access
+// reads as ns per fleet request round-trip; on a multi-core host this is
+// where the near-N× aggregate submit throughput shows up, while on the
+// 1-CPU CI runner the gate tracks the per-request cost of the fleet path
+// (rendezvous + ledger/cache hit) staying flat.
+func FleetLoad() Scenario {
+	return Scenario{
+		Name: "fleet",
+		Desc: "3-node labd fleet serving a warmed co-run matrix (unit: requests)",
+		Setup: func(quick bool) (func() uint64, func()) {
+			requests, clients := 96, 6
+			if quick {
+				requests = 48
+			}
+
+			// The matrix: the short co-run grid at a cheap scale. Collect
+			// every key the forked execution path touches — each corun-sim
+			// cell plus its mix's nested corun-warm checkpoint — since the
+			// zero-duplicate invariant counts nested executions too.
+			cfg := warm.DefaultConfig()
+			cfg.Scale = 1024
+			var bodies [][]byte
+			unique := map[string]bool{}
+			for _, mix := range figures.CoRunMixes(true) {
+				for _, size := range figures.CoRunSizes(true) {
+					c := cfg
+					c.LLCPaperBytes = size
+					apps := make([]spec.BenchRef, len(mix.Apps))
+					for i, p := range mix.Apps {
+						apps[i] = spec.BenchRef{Name: p.Name}
+					}
+					sp, err := spec.New(spec.CoRunSimParams{Mix: mix.Name, Apps: apps, Cfg: c})
+					if err != nil {
+						panic(err)
+					}
+					body, err := json.Marshal(sp)
+					if err != nil {
+						panic(err)
+					}
+					bodies = append(bodies, body)
+					unique[sp.Key()] = true
+					wsp, err := spec.New(spec.CoRunWarmParams{Mix: mix.Name, Apps: apps, Cfg: c})
+					if err != nil {
+						panic(err)
+					}
+					unique[wsp.Key()] = true
+				}
+			}
+
+			dir, err := os.MkdirTemp("", "delorean-bench-fleet-")
+			if err != nil {
+				panic(err)
+			}
+			fl, err := lab.StartLocalFleet(3, lab.LocalFleetOptions{
+				StoreDir: func(i int) string { return filepath.Join(dir, fmt.Sprintf("node%d", i)) },
+			})
+			if err != nil {
+				_ = os.RemoveAll(dir)
+				panic(err)
+			}
+			cleanup := func() { fl.Close(); _ = os.RemoveAll(dir) }
+
+			// Warm pass: each cell submitted once, round-robin. Non-owner
+			// nodes proxy-wait on the rendezvous owner, so each cell (and
+			// each nested warm checkpoint) executes on exactly one node.
+			urls := fl.URLs()
+			for i, body := range bodies {
+				if err := submitAndWait(urls[i%len(urls)], body); err != nil {
+					cleanup()
+					panic(fmt.Sprintf("fleet: warm pass: %v", err))
+				}
+			}
+			if got, want := fl.Executions(), uint64(len(unique)); got != want {
+				cleanup()
+				panic(fmt.Sprintf("fleet: duplicate executions during warm: %d executions fleet-wide for %d unique specs", got, want))
+			}
+
+			// Resubmit every cell to every node: results must flow over the
+			// peer fetch tier, never re-execute.
+			for _, body := range bodies {
+				for _, u := range urls {
+					if err := submitAndWait(u, body); err != nil {
+						cleanup()
+						panic(fmt.Sprintf("fleet: resubmit pass: %v", err))
+					}
+				}
+			}
+			if got, want := fl.Executions(), uint64(len(unique)); got != want {
+				cleanup()
+				panic(fmt.Sprintf("fleet: resubmit re-executed work: %d executions for %d unique specs", got, want))
+			}
+			var peerHits uint64
+			for _, n := range fl.Nodes {
+				if p := n.Store.Peers(); p != nil {
+					peerHits += p.Stats().Hits
+				}
+			}
+			if peerHits == 0 {
+				cleanup()
+				panic("fleet: no peer fetch hits — artifacts did not move between nodes")
+			}
+
+			return func() uint64 {
+				rep, err := lab.RunLoad(lab.LoadConfig{
+					BaseURLs: urls, Bodies: bodies, Requests: requests, Clients: clients, Seed: 42,
+				})
+				if err != nil {
+					panic(err)
+				}
+				if rep.Failures > 0 {
+					panic(fmt.Sprintf("fleet: %d failed requests", rep.Failures))
+				}
+				if rep.Fleet != nil && rep.Fleet.Executions > 0 {
+					panic(fmt.Sprintf("fleet: %d executions during cache-hit steady state", rep.Fleet.Executions))
+				}
+				return uint64(rep.Requests)
+			}, cleanup
+		},
+	}
+}
+
+// submitAndWait posts one spec body and blocks until the job is done —
+// the warm-pass primitive of the fleet scenario.
+func submitAndWait(base string, body []byte) error {
+	resp, err := http.Post(base+"/v1/specs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var st lab.JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if st.Key == "" {
+		return fmt.Errorf("submit to %s: no job key", base)
+	}
+	resp, err = http.Get(base + "/v1/jobs/" + st.Key + "/wait")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("wait on %s: status %d", base, resp.StatusCode)
+	}
+	var fin lab.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&fin); err != nil {
+		return err
+	}
+	if fin.State != lab.StateDone {
+		return fmt.Errorf("job on %s ended %s: %s", base, fin.State, fin.Error)
+	}
+	return nil
 }
 
 // syntheticResult builds a paper-shaped sampling artifact: 10 regions of

@@ -108,11 +108,12 @@ type Engine struct {
 	// executed results are persisted.
 	Store Store
 
-	mu        sync.Mutex
-	cache     map[string]*cacheEntry
-	hits      uint64
-	misses    uint64
-	storeHits uint64
+	mu         sync.Mutex
+	cache      map[string]*cacheEntry
+	hits       uint64
+	misses     uint64
+	storeHits  uint64
+	executions uint64
 
 	progMu sync.Mutex
 }
@@ -151,6 +152,29 @@ func (e *Engine) StoreHits() uint64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.storeHits
+}
+
+// HasCached reports whether key has a live in-memory cache entry —
+// completed successfully, or currently executing (joining it via RunSpec
+// rides the single-flight path instead of duplicating work). The fleet
+// router uses it as a cheap "will RunSpec be free?" probe before deciding
+// to proxy a job to its owner node.
+func (e *Engine) HasCached(key string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.cache[key]
+	return ok
+}
+
+// Executions returns how many spec executions this engine actually
+// started (cache and store hits excluded, nested sub-specs included).
+// It is the counter the fleet's zero-duplicate-execution invariant sums
+// across nodes: for a deduplicated workload, per-node Executions must add
+// up to the single-node execution count.
+func (e *Engine) Executions() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.executions
 }
 
 // RunMatrix executes the jobs and returns their results in matrix order.
@@ -258,6 +282,7 @@ func (e *Engine) runJob(ctx context.Context, s Spec, total int, done *int) (any,
 
 	e.mu.Lock()
 	e.misses++
+	e.executions++
 	e.mu.Unlock()
 	ent.val, ent.err = s.Run(boundSub{e: e, ctx: ctx})
 	if ent.err == nil && e.Store != nil {
