@@ -9,7 +9,18 @@
 //
 //	labd [-addr :8080] [-store DIR] [-store-max-mb N] [-workers N]
 //	     [-max-queue N] [-job-ttl D] [-max-jobs N]
+//	     [-journal PATH|auto|off] [-progress-every N] [-faultpoints SCHED]
 //	     [-self URL -peers URL,URL,...] [-steal-depth N] [-peer-fetch-timeout D]
+//
+// Crash safety (DESIGN.md §14): with a store, labd keeps a durable job
+// journal (default <store>/journal.wal) — every accepted submission is
+// fsynced before the 202, and a restarted daemon re-arms and re-runs
+// whatever was accepted but unfinished. Long co-run cells additionally
+// checkpoint mid-run progress into the store every -progress-every
+// measured quanta, so a crash, cancellation or fleet steal resumes from
+// the last paid-for quantum instead of starting over. -faultpoints arms
+// deterministic crash sites (SIGKILL at the Nth hit) for the chaos
+// harness; never set it in production.
 //
 // Fleet mode (-self + -peers, DESIGN.md §13): nodes share one static
 // peer list, agree on a rendezvous-hashed owner per spec key (non-owners
@@ -50,16 +61,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/faultpoint"
 	"repro/internal/lab"
 	"repro/internal/runner"
+	"repro/internal/spec"
 	"repro/internal/warm"
 )
 
@@ -82,6 +97,10 @@ func main() {
 		peers        = flag.String("peers", "", "fleet mode: comma-separated peer base URLs")
 		stealDepth   = flag.Int("steal-depth", 0, "owner queue depth above which non-owners steal work (0 = default 4, negative = never)")
 		fetchTimeout = flag.Duration("peer-fetch-timeout", 0, "per-attempt peer artifact fetch timeout (0 = default 5s)")
+
+		journalPath   = flag.String("journal", "auto", "durable job journal WAL path (auto = <store>/journal.wal when -store is set, off = disable)")
+		progressEvery = flag.Uint64("progress-every", spec.ProgressEveryQuanta, "co-run mid-run checkpoint cadence in measured quanta (0 = disable)")
+		faultpoints   = flag.String("faultpoints", "", "deterministic crash schedule for chaos testing, e.g. journal.accept=2,artifact.put=1 (SIGKILLs the process at the Nth hit)")
 	)
 	flag.Parse()
 
@@ -91,6 +110,13 @@ func main() {
 			fatal(err)
 		}
 		return
+	}
+
+	spec.ProgressEveryQuanta = *progressEvery
+	if *faultpoints != "" {
+		if err := faultpoint.Arm(*faultpoints); err != nil {
+			fatal(err)
+		}
 	}
 
 	var peerList []string
@@ -117,9 +143,35 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Durable job journal (DESIGN.md §14): accepted submissions are
+	// fsynced before the 202, and whatever a previous incarnation accepted
+	// but never finished is re-armed below, once the server exists.
+	var (
+		jrnl    *lab.Journal
+		pending []lab.PendingJob
+	)
+	switch {
+	case *journalPath == "off":
+	case *journalPath == "auto" && *storeDir == "":
+		// No store, nothing durable to resume against: journal off.
+	default:
+		path := *journalPath
+		if path == "auto" {
+			path = filepath.Join(*storeDir, "journal.wal")
+		}
+		if jrnl, pending, err = lab.OpenJournal(path); err != nil {
+			fatal(err)
+		}
+	}
+
 	labSrv := lab.NewServerOpts(eng, store, lab.Options{
 		MaxQueue: *maxQueue, JobTTL: *jobTTL, MaxJobs: *maxJobs, Fleet: fleet,
+		Journal: jrnl,
 	})
+	if n := labSrv.Recover(pending); n > 0 {
+		fmt.Fprintf(os.Stderr, "labd: recovered %d journaled job(s)\n", n)
+	}
 	srv := &http.Server{Addr: *addr, Handler: labSrv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -135,11 +187,21 @@ func main() {
 	if store != nil {
 		where = "store " + store.Dir()
 	}
+	if jrnl != nil {
+		where += ", journal on"
+	}
 	if fleet.Enabled() {
 		where += fmt.Sprintf(", fleet of %d peers", len(peerList))
 	}
-	fmt.Fprintf(os.Stderr, "labd: listening on %s (%s)\n", *addr, where)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	// Listen before announcing so the printed address is the resolved one
+	// (with -addr :0 the kernel picks the port; the chaos harness parses
+	// this line to find it).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "labd: listening on %s (%s)\n", ln.Addr(), where)
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		fatal(err)
 	}
 }

@@ -13,6 +13,8 @@ import (
 	"path/filepath"
 	"strings"
 	"time"
+
+	"repro/internal/faultpoint"
 )
 
 // BlobInfo describes one stored blob.
@@ -100,27 +102,48 @@ func (b *DiskBlob) GetPooled(key string) ([]byte, func(), error) {
 	return readPooled(b.path(key))
 }
 
-// Put writes data under key via temp-file + rename. Failures read as
-// false: the store is a cache and the caller still holds the value.
+// Put writes data under key via temp-file + fsync + rename + directory
+// fsync. Failures read as false: the store is a cache and the caller still
+// holds the value. The syncs are what make "atomic" hold across a crash:
+// rename orders metadata, not data, so without the file sync a power cut
+// shortly after Put could leave a fully-named artifact whose blocks never
+// reached disk — an empty or partial file under a valid key — and without
+// the directory sync the rename itself could vanish.
 func (b *DiskBlob) Put(key string, data []byte) bool {
 	if !validKey(key) {
 		return false
 	}
 	path := b.path(key)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return false
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "tmp-*.json")
+	tmp, err := os.CreateTemp(dir, "tmp-*.json")
 	if err != nil {
 		return false
 	}
 	_, werr := tmp.Write(data)
+	faultpoint.Hit("artifact.put") // chaos: crash mid-write, before the blob is durable
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil || os.Rename(tmp.Name(), path) != nil {
+	if werr != nil || serr != nil || cerr != nil || os.Rename(tmp.Name(), path) != nil {
 		os.Remove(tmp.Name())
 		return false
 	}
+	syncDir(dir)
 	return true
+}
+
+// syncDir fsyncs a directory so a just-renamed entry durably appears in
+// it. Best-effort: a failed directory sync degrades to the pre-fix
+// behaviour (the artifact may be lost in a crash, never corrupted).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
 }
 
 // Stat reports the blob's size and mtime without reading it.
@@ -149,16 +172,21 @@ func (b *DiskBlob) Delete(key string) bool {
 func (b *DiskBlob) List() []BlobInfo {
 	var all []BlobInfo
 	_ = filepath.WalkDir(b.dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+		if err != nil || d.IsDir() {
 			return nil //nolint:nilerr // unreadable entries are simply not indexed
 		}
 		if strings.HasPrefix(d.Name(), "tmp-") {
 			// A writer crashed between CreateTemp and rename; the stray
 			// temp file is not an artifact and must not enter the index
 			// (its key would not map back to its path, corrupting the
-			// byte accounting on eviction).
+			// byte accounting on eviction). Checked before the extension
+			// gate and removed whatever the suffix — a crash can leave a
+			// temp name in any partially-written shape.
 			_ = os.Remove(path)
 			return nil
+		}
+		if filepath.Ext(path) != ".json" {
+			return nil // foreign file: never index, never delete
 		}
 		key := d.Name()[:len(d.Name())-len(".json")]
 		if !validKey(key) {

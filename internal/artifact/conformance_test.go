@@ -39,6 +39,17 @@ func confBackends() []confBackend {
 			}
 			return b, dir
 		}},
+		{name: "fault-transparent", open: func(t *testing.T) (artifact.Blob, string) {
+			// A FaultBlob with an empty schedule must be indistinguishable
+			// from its inner backend — the wrapper earns its place in the
+			// chaos tests only if it adds nothing when quiet.
+			dir := t.TempDir()
+			inner, err := artifact.NewDiskBlob(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return artifact.NewFaultBlob(inner, artifact.FaultConfig{Seed: 1}), dir
+		}},
 		{name: "peer", open: func(t *testing.T) (artifact.Blob, string) {
 			dir := t.TempDir()
 			srvStore, err := artifact.Open(dir, 0, codecs())

@@ -1,0 +1,89 @@
+// Package faultpoint provides deterministic, count-based crash points for
+// the chaos harness (DESIGN.md §14). A site is a named location in the
+// code (e.g. "journal.accept", "artifact.put") that calls Hit on every
+// pass; arming a schedule like "artifact.put=3" makes the third pass
+// through that site kill the process with SIGKILL — no deferred cleanup,
+// no flushes, exactly what a power cut or OOM kill looks like to the
+// recovery machinery under test.
+//
+// Counting, not timing, is what makes chaos runs reproducible: the Nth
+// journal append or artifact write is the same operation on every run of
+// a deterministic workload, while "kill after 500ms" lands somewhere
+// different on every machine. The unarmed fast path is a single relaxed
+// atomic load, so production binaries pay nothing for carrying the sites.
+package faultpoint
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+var (
+	armed atomic.Bool
+	mu    sync.Mutex
+	// remaining maps site name -> hits left before the crash. The map is
+	// only read under mu once armed reports true, so the hot path never
+	// touches it.
+	remaining map[string]*int64
+)
+
+// Arm installs a crash schedule: a comma-separated list of site=N pairs,
+// where the Nth Hit(site) after arming kills the process. N must be >= 1.
+// Arming replaces any previous schedule; an empty schedule disarms.
+func Arm(schedule string) error {
+	mu.Lock()
+	defer mu.Unlock()
+	next := make(map[string]*int64)
+	for _, part := range strings.Split(schedule, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		site, countStr, ok := strings.Cut(part, "=")
+		if !ok || site == "" {
+			return fmt.Errorf("faultpoint: bad schedule entry %q (want site=N)", part)
+		}
+		n, err := strconv.ParseInt(countStr, 10, 64)
+		if err != nil || n < 1 {
+			return fmt.Errorf("faultpoint: bad count in %q (want integer >= 1)", part)
+		}
+		c := n
+		next[site] = &c
+	}
+	remaining = next
+	armed.Store(len(next) > 0)
+	return nil
+}
+
+// Hit marks one pass through a crash site. When the armed schedule's
+// count for this site reaches zero, the process dies by SIGKILL.
+func Hit(site string) {
+	if !armed.Load() {
+		return
+	}
+	mu.Lock()
+	c, ok := remaining[site]
+	if !ok {
+		mu.Unlock()
+		return
+	}
+	*c--
+	die := *c <= 0
+	mu.Unlock()
+	if die {
+		crash()
+	}
+}
+
+// crash terminates the process as abruptly as the platform allows. SIGKILL
+// cannot be caught, so no deferred cleanup, no journal flush and no HTTP
+// goodbye runs — the post-restart state is exactly what was on disk.
+func crash() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	os.Exit(137) // unreachable on unix; belt-and-braces elsewhere
+}

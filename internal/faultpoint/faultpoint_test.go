@@ -1,0 +1,63 @@
+package faultpoint
+
+import (
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+)
+
+func TestArmRejectsBadSchedules(t *testing.T) {
+	defer Arm("")
+	for _, bad := range []string{"nosign", "site=0", "site=-1", "site=x", "=3"} {
+		if err := Arm(bad); err == nil {
+			t.Errorf("Arm(%q) accepted a malformed schedule", bad)
+		}
+	}
+	if err := Arm("a=1, b=2 ,"); err != nil {
+		t.Errorf("Arm rejected a valid schedule: %v", err)
+	}
+}
+
+func TestUnarmedAndUnknownSitesAreNoOps(t *testing.T) {
+	defer Arm("")
+	if err := Arm(""); err != nil {
+		t.Fatal(err)
+	}
+	Hit("anything") // disarmed: must not crash
+	if err := Arm("other=1"); err != nil {
+		t.Fatal(err)
+	}
+	Hit("not-armed") // unknown site: must not crash
+	Hit("not-armed")
+}
+
+// TestCrashOnNthHit re-execs the test binary with "unit.site=3" armed and
+// asserts the child survives two hits but dies (by SIGKILL, not a clean
+// exit) on the third — the count-based determinism the chaos harness
+// depends on.
+func TestCrashOnNthHit(t *testing.T) {
+	if os.Getenv("FAULTPOINT_CHILD") != "" {
+		if err := Arm("unit.site=3"); err != nil {
+			t.Fatal(err)
+		}
+		n, _ := strconv.Atoi(os.Getenv("FAULTPOINT_HITS"))
+		for i := 0; i < n; i++ {
+			Hit("unit.site")
+		}
+		os.Exit(42)
+	}
+	for hits, survives := range map[string]bool{"2": true, "3": false} {
+		cmd := exec.Command(os.Args[0], "-test.run", "TestCrashOnNthHit")
+		cmd.Env = append(os.Environ(), "FAULTPOINT_CHILD=1", "FAULTPOINT_HITS="+hits)
+		err := cmd.Run()
+		exit, ok := err.(*exec.ExitError)
+		if survives {
+			if !ok || exit.ExitCode() != 42 {
+				t.Errorf("child with %s hits: want clean exit 42, got %v", hits, err)
+			}
+		} else if err == nil || (ok && exit.ExitCode() == 42) {
+			t.Errorf("child with %s hits survived the scheduled crash: %v", hits, err)
+		}
+	}
+}

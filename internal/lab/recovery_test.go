@@ -1,0 +1,141 @@
+package lab_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lab"
+	"repro/internal/spec"
+)
+
+// TestSubmitIsJournaledDurably: with a journal attached, a submission's
+// full lifecycle lands in the WAL — and once the job is done, a restart
+// replays nothing.
+func TestSubmitIsJournaledDurably(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.wal")
+	jl, pending, err := lab.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatal("fresh journal reported pending jobs")
+	}
+	eng, store, err := lab.NewEngine(1, filepath.Join(dir, "store"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(lab.NewServerOpts(eng, store, lab.Options{Journal: jl}).Handler())
+	defer ts.Close()
+
+	body := shortSpec(t)
+	st := postSpec(t, ts, body)
+	waitDone(t, ts, st.Key)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mets, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, m := range []string{"labd_journal_records_total", "labd_journal_syncs_total", "labd_journal_recovered_total"} {
+		if !strings.Contains(string(mets), m) {
+			t.Errorf("/metrics missing %s", m)
+		}
+	}
+
+	jl.Close()
+	jl2, pending, err := lab.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	if len(pending) != 0 {
+		t.Fatalf("finished job still pending after replay: %v", pending)
+	}
+}
+
+// TestServerRecoversAcceptedJobs is the restart half of the durability
+// contract: a journal holding an accepted-but-unfinished submission (the
+// state a crash between 202 and completion leaves behind) must come back
+// as a running job that completes and persists its artifact.
+func TestServerRecoversAcceptedJobs(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.wal")
+	body := shortSpec(t)
+	sp, err := spec.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: "crashed" daemon — journal the acceptance, never run it.
+	jl, _, err := lab.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Accepted(sp.Key(), body); err != nil {
+		t.Fatal(err)
+	}
+	jl.Close()
+
+	// Phase 2: restart. Replay must surface the job; Recover re-arms it.
+	jl2, pending, err := lab.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	if len(pending) != 1 || pending[0].Key != sp.Key() {
+		t.Fatalf("pending = %+v, want the accepted job", pending)
+	}
+	eng, store, err := lab.NewEngine(1, filepath.Join(dir, "store"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := lab.NewServerOpts(eng, store, lab.Options{Journal: jl2})
+	if n := srv.Recover(pending); n != 1 {
+		t.Fatalf("Recover re-armed %d jobs, want 1", n)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	st := waitDone(t, ts, sp.Key())
+	if st.State != lab.StateDone {
+		t.Fatalf("recovered job state = %s (%s), want done", st.State, st.Error)
+	}
+	if _, ok := store.StatKey(sp.Key()); !ok {
+		t.Error("recovered job did not persist its artifact")
+	}
+
+	// /v1/status reports the recovery.
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status struct {
+		Journal lab.JournalStats `json:"journal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Journal.Recovered != 1 {
+		t.Errorf("status journal.recovered = %d, want 1", status.Journal.Recovered)
+	}
+
+	// Phase 3: another restart sees nothing pending — the terminal record
+	// landed.
+	jl2.Close()
+	jl3, pending3, err := lab.OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl3.Close()
+	if len(pending3) != 0 {
+		t.Fatalf("pending after completion = %v, want none", pending3)
+	}
+}

@@ -189,6 +189,11 @@ type Options struct {
 	// single-flight + work stealing, DESIGN.md §13). Zero value: fleet
 	// mode off.
 	Fleet FleetConfig
+	// Journal is the durable job WAL (DESIGN.md §14): every accepted
+	// submission is fsynced to it before the client sees 202, and
+	// Server.Recover re-arms whatever it holds after a crash. nil: no
+	// crash durability (the default for embedded/test servers).
+	Journal *Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -225,6 +230,8 @@ type Server struct {
 	// fleet is the cross-node single-flight router; nil outside fleet
 	// mode.
 	fleet *fleet
+	// jrnl is the durable job WAL; nil when crash durability is off.
+	jrnl *Journal
 
 	mets serviceMetrics
 
@@ -250,8 +257,47 @@ func NewServerOpts(eng *runner.Engine, store *artifact.Store, opts Options) *Ser
 	if s.opts.Fleet.Enabled() {
 		s.fleet = newFleet(s.opts.Fleet)
 	}
+	s.jrnl = s.opts.Journal
 	eng.OnProgress = s.onProgress
 	return s
+}
+
+// Recover re-arms jobs the journal replayed as accepted-but-unfinished
+// (call once, after construction, before serving traffic). Each pending
+// submission is decoded and enqueued exactly as a fresh POST would be —
+// at-least-once semantics: a job that actually finished just before the
+// crash re-executes, but the engine's content-keyed caches and the
+// artifact store make that re-execution a cheap lookup. Admission control
+// is deliberately skipped: these jobs were already accepted and journaled,
+// and refusing them now would break the durability contract. Returns the
+// number of jobs re-armed; undecodable bodies (journal from an older,
+// incompatible build) are skipped, not fatal.
+func (s *Server) Recover(pending []PendingJob) int {
+	n := 0
+	for _, p := range pending {
+		sp, err := spec.Decode(p.Body)
+		if err != nil {
+			continue
+		}
+		var body []byte
+		if s.fleet != nil {
+			body = p.Body // fleet routing forwards the verbatim submission
+		}
+		s.mu.Lock()
+		if _, ok := s.jobs[sp.Key()]; ok {
+			s.mu.Unlock()
+			continue // a client resubmitted it before recovery got here
+		}
+		j := &job{spec: sp, body: body}
+		j.arm()
+		s.jobs[sp.Key()] = j
+		s.queued++
+		s.mu.Unlock()
+		s.mets.recovered.Add(1)
+		go s.run(j)
+		n++
+	}
+	return n
 }
 
 // onProgress attributes completion events to jobs and fans them out to
@@ -389,6 +435,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mets.submits.Add(1)
+	raw := body // the journal needs the verbatim submission either way
 	if s.fleet == nil {
 		body = nil // only the fleet router forwards bodies; don't pin them
 	}
@@ -404,6 +451,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// of serving the stale error until restart. Only the queue
 			// bound applies — the job is already a ledger entry.
 			if !s.admitLocked(w, false) {
+				s.mu.Unlock()
+				return
+			}
+			if !s.journalAcceptLocked(w, sp.Key(), raw) {
 				s.mu.Unlock()
 				return
 			}
@@ -424,6 +475,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.admitLocked(w, true) {
+		s.mu.Unlock()
+		return
+	}
+	if !s.journalAcceptLocked(w, sp.Key(), raw) {
 		s.mu.Unlock()
 		return
 	}
@@ -464,6 +519,25 @@ func (s *Server) admitLocked(w http.ResponseWriter, newJob bool) bool {
 	return true
 }
 
+// journalAcceptLocked makes a submission durable before it is
+// acknowledged: the accepted record (with the verbatim body, which replay
+// resubmits) is fsynced while s.mu is held, so its WAL position is
+// ordered against the racing finish/resubmit records of the same key. If
+// the journal cannot take the record the submission is refused with 500 —
+// accepting un-journaled work would silently drop the crash-safety
+// contract. No-op without a journal.
+func (s *Server) journalAcceptLocked(w http.ResponseWriter, key string, body []byte) bool {
+	if s.jrnl == nil {
+		return true
+	}
+	if err := s.jrnl.Accepted(key, body); err != nil {
+		writeError(w, http.StatusInternalServerError, "journal submission: %v", err)
+		return false
+	}
+	s.mets.journaled.Add(1)
+	return true
+}
+
 func (s *Server) run(j *job) {
 	// Fleet routing happens while the job is still queued, BEFORE a worker
 	// slot is taken: proxy-waiting on another node is idle network time,
@@ -488,6 +562,9 @@ func (s *Server) run(j *job) {
 	s.queued--
 	j.state = StateRunning
 	j.started = time.Now()
+	if s.jrnl != nil {
+		_ = s.jrnl.Started(j.spec.Key()) // best-effort: loss re-runs, never loses, the job
+	}
 	s.mu.Unlock()
 
 	val, err := s.eng.RunSpecCtx(j.ctx, j.spec)
@@ -573,6 +650,20 @@ func (s *Server) finish(j *job, val any, err error) {
 	default:
 		j.state = StateFailed
 		j.err = err.Error()
+	}
+	// The terminal journal record must land while s.mu is held: a racing
+	// resubmit journals its accepted record under the same lock, so
+	// appending after unlock could order "failed" AFTER the re-arm's
+	// "accepted" and make replay drop a live job.
+	if s.jrnl != nil {
+		switch j.state {
+		case StateDone:
+			_ = s.jrnl.Done(j.spec.Key())
+		case StateCancelled:
+			_ = s.jrnl.Cancelled(j.spec.Key())
+		case StateFailed:
+			_ = s.jrnl.Failed(j.spec.Key())
+		}
 	}
 	// Capture this incarnation's channel and cancel under the lock: once
 	// the state is terminal a racing resubmit may re-arm the job and
@@ -937,6 +1028,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	if s.store != nil {
 		st["store"] = s.store.Stats()
 	}
+	if s.jrnl != nil {
+		js := s.jrnl.Stats()
+		js.Recovered = s.mets.recovered.Load() // jobs actually re-armed, not just replayed
+		st["journal"] = js
+	}
 	if s.fleet != nil {
 		fs := s.fleet.stats()
 		if s.store != nil && s.store.Peers() != nil {
@@ -999,6 +1095,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	promCounter(w, "labd_submits_total", "specs accepted for decoding on POST /v1/specs", s.mets.submits.Load())
 	promCounter(w, "labd_rejected_total", "submissions refused with 429 (queue or ledger full)", s.mets.rejected.Load())
 	promCounter(w, "labd_cancels_total", "job cancellations (DELETE or abandoned wait)", s.mets.cancels.Load())
+	if s.jrnl != nil {
+		js := s.jrnl.Stats()
+		promCounter(w, "labd_journal_records_total", "job journal records appended", js.Records)
+		promCounter(w, "labd_journal_syncs_total", "job journal fsyncs (one per durable acceptance)", js.Syncs)
+		promCounter(w, "labd_journal_recovered_total", "journaled jobs re-armed after restart", s.mets.recovered.Load())
+	}
 	s.mets.submitLat.writeProm(w, "labd_submit_latency_seconds", "POST /v1/specs handler latency")
 	s.mets.waitLat.writeProm(w, "labd_wait_latency_seconds", "successful /v1/jobs/{key}/wait latency")
 }

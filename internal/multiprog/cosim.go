@@ -142,6 +142,13 @@ type CoSim struct {
 	// brought every core up to; the measured window runs from here. Set by
 	// WarmAlign (or restored from a checkpoint).
 	alignStart uint64
+	// progressEvery/onProgress arm periodic mid-measured-window capture
+	// (SetProgress): every progressEvery measured quanta the engine hands
+	// onProgress a fresh ProgressCheckpoint. Execution hints like
+	// Cfg.Cancel — never part of state, identity or serialization.
+	progressEvery uint64
+	progressCount uint64
+	onProgress    func(*ProgressCheckpoint)
 }
 
 // NewCoSim builds the co-run engine for the given app mix.
@@ -232,6 +239,12 @@ func (cs *CoSim) runWindow(horizon, q uint64, measure bool) {
 		a.cycles += st.Cycles
 		if measure {
 			a.meas.Add(st)
+			if cs.onProgress != nil {
+				if cs.progressCount++; cs.progressCount >= cs.progressEvery {
+					cs.progressCount = 0
+					cs.onProgress(cs.Progress())
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,139 @@
+package multiprog
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// resumeThroughJSON round-trips a progress checkpoint through its JSON
+// encoding — the exact path a store-persisted checkpoint takes — and
+// resumes from the decoded copy.
+func resumeThroughJSON(t *testing.T, pc *ProgressCheckpoint) *CoSim {
+	t.Helper()
+	b, err := json.Marshal(pc)
+	if err != nil {
+		t.Fatalf("encode progress: %v", err)
+	}
+	var back ProgressCheckpoint
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("decode progress: %v", err)
+	}
+	resumed, err := NewCoSimFromProgress(&back)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	return resumed
+}
+
+// TestResumedRunMatchesStraight is the mid-run checkpoint layer's
+// bit-exactness oracle, asserted across the full 24-profile suite: run a
+// probe engine with periodic progress capture, pick a checkpoint from the
+// middle of the measured window, resume a fresh engine from it, and the
+// resumed run must be deep-equal to the straight-through one — results AND
+// final deep state. The probe's own completed run must also match, pinning
+// that the capture hook has no side effects on the simulation.
+func TestResumedRunMatchesStraight(t *testing.T) {
+	cfg := ckTestConfig(128)
+	for _, prof := range workload.Benchmarks() {
+		straight := NewCoSim([]*workload.Profile{prof}, cfg)
+		straight.WarmAlign()
+		wantRes := straight.RunMeasured()
+
+		probe := NewCoSim([]*workload.Profile{prof}, cfg)
+		probe.WarmAlign()
+		var mid *ProgressCheckpoint
+		fires := 0
+		probe.SetProgress(50, func(pc *ProgressCheckpoint) {
+			if fires++; fires == 3 {
+				mid = pc
+			}
+		})
+		if probeRes := probe.RunMeasured(); !reflect.DeepEqual(probeRes, wantRes) {
+			t.Errorf("%s: progress capture perturbed the probe run", prof.Name)
+			continue
+		}
+		if mid == nil {
+			t.Fatalf("%s: progress hook fired %d times, never reached the mid-window capture", prof.Name, fires)
+		}
+
+		resumed := resumeThroughJSON(t, mid)
+		if gotRes := resumed.RunMeasured(); !reflect.DeepEqual(gotRes, wantRes) {
+			t.Errorf("%s: resumed result diverged:\n got  %+v\n want %+v", prof.Name, gotRes, wantRes)
+			continue
+		}
+		if got, want := resumed.Snapshot(), straight.Snapshot(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: resumed final deep state diverged from straight run", prof.Name)
+		}
+	}
+}
+
+// TestCancelledMixResumesFromProgress is the crash/cancel scenario on a
+// contended 4-app mix with prefetchers on: the first run is cancelled
+// mid-measured-window, its last persisted progress checkpoint resumes a
+// fresh engine, and the completed resumed run must match the straight run
+// exactly — the paid-for portion of the window is never recomputed and
+// never diverges.
+func TestCancelledMixResumesFromProgress(t *testing.T) {
+	cfg := ckTestConfig(64)
+	cfg.Prefetch = true
+	profs := []*workload.Profile{workload.Mcf(), workload.Lbm(), workload.Omnetpp(), workload.Xalancbmk()}
+
+	straight := NewCoSim(profs, cfg)
+	straight.WarmAlign()
+	wantRes := straight.RunMeasured()
+
+	interrupted := NewCoSim(profs, cfg)
+	interrupted.WarmAlign()
+	var last *ProgressCheckpoint
+	saves := 0
+	interrupted.SetProgress(40, func(pc *ProgressCheckpoint) {
+		last = pc
+		saves++
+	})
+	killed := false
+	interrupted.Cfg.Cancel = func() bool {
+		// Kill the run once a couple of checkpoints are on record: the
+		// cancel lands mid-window with real progress to resume from.
+		killed = killed || saves >= 2
+		return killed
+	}
+	_ = interrupted.RunMeasured() // partial; a real caller discards this
+	if !killed || last == nil {
+		t.Fatalf("cancel never landed mid-window (saves=%d)", saves)
+	}
+
+	resumed := resumeThroughJSON(t, last)
+	if gotRes := resumed.RunMeasured(); !reflect.DeepEqual(gotRes, wantRes) {
+		t.Errorf("resumed-after-cancel result diverged:\n got  %+v\n want %+v", gotRes, wantRes)
+	}
+	if got, want := resumed.Snapshot(), straight.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Error("resumed-after-cancel final deep state diverged from straight run")
+	}
+}
+
+// TestProgressRejectsBadShape: version and shape mismatches fail loudly.
+func TestProgressRejectsBadShape(t *testing.T) {
+	cfg := ckTestConfig(64)
+	cs := NewCoSim([]*workload.Profile{workload.Mcf()}, cfg)
+	cs.WarmAlign()
+	pc := cs.Progress()
+
+	bad := *pc
+	bad.Version = ProgressVersion + 1
+	if _, err := NewCoSimFromProgress(&bad); err == nil {
+		t.Error("resume accepted an unknown progress version")
+	}
+	bad = *pc
+	bad.State = nil
+	if _, err := NewCoSimFromProgress(&bad); err == nil {
+		t.Error("resume accepted a progress checkpoint without state")
+	}
+	bad = *pc
+	bad.Meas = bad.Meas[:0]
+	if _, err := NewCoSimFromProgress(&bad); err == nil {
+		t.Error("resume accepted mismatched measured-stat count")
+	}
+}

@@ -221,6 +221,15 @@ func (e *Engine) RunSpecCtx(ctx context.Context, s Spec) (any, error) {
 // executors): an unbound, never-cancelled context.
 func (e *Engine) Context() context.Context { return context.Background() }
 
+// EngineStore exposes the engine's persistent store tier to executors
+// that manage auxiliary artifacts beyond the engine's own result caching
+// (e.g. mid-run progress checkpoints, which exist precisely because the
+// result is not finished yet). Nil when the engine runs store-less.
+// Executors reach it by type-asserting their Sub:
+//
+//	if sa, ok := sub.(interface{ EngineStore() runner.Store }); ok { ... }
+func (e *Engine) EngineStore() Store { return e.Store }
+
 // boundSub is the Sub handed to an executing spec: nested specs run on
 // the same engine bound to the parent job's context, so cancelling a
 // composite job cancels the whole nested tree.
@@ -235,6 +244,9 @@ func (b boundSub) RunSpec(s Spec) (any, error) {
 }
 
 func (b boundSub) Context() context.Context { return b.ctx }
+
+// EngineStore exposes the engine's store tier (see Engine.EngineStore).
+func (b boundSub) EngineStore() Store { return b.e.Store }
 
 // runJob executes one spec with single-flight caching: the first caller of
 // a key runs it (consulting the persistent store first), concurrent

@@ -35,6 +35,7 @@ import (
 	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/faultpoint"
 	"repro/internal/multiprog"
 	"repro/internal/runner"
 	"repro/internal/warm"
@@ -335,43 +336,90 @@ func runCoRunSim(p Params, sub runner.Sub) (any, error) {
 	sp := p.(CoRunSimParams)
 	cfg := multiprog.CoSimFromWarm(sp.Cfg, sp.Cfg.LLCPaperBytes)
 	cfg.Cancel = cancelPoll(sub.Context())
-	if sp.Straight {
+
+	// Mid-run resume (DESIGN.md §14): with a store attached, the measured
+	// window periodically persists a progress checkpoint under a key
+	// derived from this cell's identity, and a previous execution's
+	// checkpoint — crashed, cancelled, or written by the fleet node this
+	// job was stolen from — seeds the engine here instead of re-running
+	// the paid-for window prefix. Both construction paths below resume
+	// identically because the checkpoint carries the complete engine state.
+	st := subStore(sub)
+	var pkey string
+	if st != nil && ProgressEveryQuanta > 0 {
+		if k, err := canonicalKey(sp); err == nil {
+			pkey = ProgressKey(k)
+		}
+	}
+	var cs *multiprog.CoSim
+	if pkey != "" {
+		if v, ok := st.Load(KindCoRunProgress, pkey); ok {
+			if pc, ok := v.(*multiprog.ProgressCheckpoint); ok {
+				if resumed, err := multiprog.NewCoSimFromProgress(pc); err == nil {
+					// The checkpoint pins state; the measured horizon and
+					// the Cancel hook belong to this execution (same rule
+					// as the forked path below).
+					resumed.Cfg.MeasureCycles = cfg.MeasureCycles
+					resumed.Cfg.Cancel = cfg.Cancel
+					cs = resumed
+				}
+			}
+		}
+	}
+
+	switch {
+	case cs != nil: // resumed from progress: warm-up and window prefix already paid
+	case sp.Straight:
 		profs, err := resolveAll(sp.Apps)
 		if err != nil {
 			return nil, err
 		}
-		res := multiprog.SimulateCoRun(profs, cfg)
+		cs = multiprog.NewCoSim(profs, cfg)
+		cs.WarmAlign()
 		if err := ctxErr(sub); err != nil {
-			return nil, err // cancelled mid-run: discard the partial result
+			return nil, err // cancelled mid-warm-up: discard the partial state
 		}
-		return res, nil
+	default:
+		// Forked path: the warm-up runs (or is served from cache/store) as
+		// a nested corun-warm spec, then this cell forks its measured
+		// window from the checkpoint. Repeated cells of one mix — different
+		// measured variants, re-runs against a persistent store — pay the
+		// warm-up once.
+		wsp, err := New(CoRunWarmParams{Mix: sp.Mix, Apps: sp.Apps, Cfg: sp.Cfg})
+		if err != nil {
+			return nil, err
+		}
+		v, err := sub.RunSpec(wsp)
+		if err != nil {
+			return nil, err
+		}
+		cs, err = multiprog.NewCoSimFromCheckpoint(v.(*multiprog.CoSimCheckpoint))
+		if err != nil {
+			return nil, err
+		}
+		// The checkpoint pins the warmed state; the measured horizon
+		// belongs to this cell (today they always agree — both derive from
+		// the same warm.Config — but the checkpoint's key is the warm
+		// point, so the horizon must come from the consumer). Cancel rides
+		// along the same way: a decoded checkpoint never carries one.
+		cs.Cfg.MeasureCycles = cfg.MeasureCycles
+		cs.Cfg.Cancel = cfg.Cancel
 	}
-	// Forked path: the warm-up runs (or is served from cache/store) as a
-	// nested corun-warm spec, then this cell forks its measured window from
-	// the checkpoint. Repeated cells of one mix — different measured
-	// variants, re-runs against a persistent store — pay the warm-up once.
-	wsp, err := New(CoRunWarmParams{Mix: sp.Mix, Apps: sp.Apps, Cfg: sp.Cfg})
-	if err != nil {
-		return nil, err
+
+	if pkey != "" {
+		cs.SetProgress(ProgressEveryQuanta, func(pc *multiprog.ProgressCheckpoint) {
+			st.Save(KindCoRunProgress, pkey, pc)
+			faultpoint.Hit("spec.progress") // chaos: crash mid-measured-run, after a durable checkpoint
+		})
 	}
-	v, err := sub.RunSpec(wsp)
-	if err != nil {
-		return nil, err
-	}
-	cs, err := multiprog.NewCoSimFromCheckpoint(v.(*multiprog.CoSimCheckpoint))
-	if err != nil {
-		return nil, err
-	}
-	// The checkpoint pins the warmed state; the measured horizon belongs to
-	// this cell (today they always agree — both derive from the same
-	// warm.Config — but the checkpoint's key is the warm point, so the
-	// horizon must come from the consumer). Cancel rides along the same
-	// way: a decoded checkpoint never carries one.
-	cs.Cfg.MeasureCycles = cfg.MeasureCycles
-	cs.Cfg.Cancel = cfg.Cancel
 	res := cs.RunMeasured()
 	if err := ctxErr(sub); err != nil {
-		return nil, err // cancelled mid-run: discard the partial result
+		// Cancelled mid-run: discard the partial result. The progress trail
+		// stays — it is exactly what the next execution resumes from.
+		return nil, err
+	}
+	if pkey != "" {
+		st.DeleteKey(pkey) // the finished artifact supersedes the progress trail
 	}
 	return res, nil
 }

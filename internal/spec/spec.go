@@ -91,11 +91,33 @@ func Kinds() []KindInfo {
 	return out
 }
 
-// Codecs returns the per-kind artifact codecs, ready for artifact.Open.
+// auxCodecs holds codecs for artifact kinds that are persisted but not
+// runnable experiments — today the mid-run progress checkpoints. They ride
+// in every store opened through Codecs/OpenStore so a progress artifact
+// decodes on any node (the peer read-through tier included).
+var auxCodecs = map[string]artifact.Codec{}
+
+// registerAuxCodec adds a non-experiment artifact kind. Name collisions
+// with experiment kinds or other aux codecs are programming errors.
+func registerAuxCodec(kind string, c artifact.Codec) {
+	if _, dup := registry[kind]; dup {
+		panic("spec: aux codec collides with experiment kind " + kind)
+	}
+	if _, dup := auxCodecs[kind]; dup {
+		panic("spec: duplicate aux codec " + kind)
+	}
+	auxCodecs[kind] = c
+}
+
+// Codecs returns the per-kind artifact codecs (experiment kinds plus
+// auxiliary artifact kinds), ready for artifact.Open.
 func Codecs() map[string]artifact.Codec {
-	out := make(map[string]artifact.Codec, len(registry))
+	out := make(map[string]artifact.Codec, len(registry)+len(auxCodecs))
 	for name, k := range registry {
 		out[name] = k.Codec
+	}
+	for name, c := range auxCodecs {
+		out[name] = c
 	}
 	return out
 }
